@@ -1,0 +1,161 @@
+/// \file bench_common.hpp
+/// \brief Shared machinery for the experiment benches: bench-scale dataset
+/// construction, model training with on-disk caching (so table benches
+/// sharing the same configuration do not retrain), and the method roster.
+///
+/// Scale note: the paper trains for hours on a GPU; these benches train
+/// scaled-down models for seconds on a CPU (DESIGN.md §3, substitution 5).
+/// The *orderings* between methods are the reproduction target, not the
+/// absolute values.
+#ifndef OTGED_BENCH_BENCH_COMMON_HPP_
+#define OTGED_BENCH_BENCH_COMMON_HPP_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "eval/experiment.hpp"
+#include "exact/astar.hpp"
+#include "heuristics/bipartite.hpp"
+#include "models/gedgnn.hpp"
+#include "models/gediot.hpp"
+#include "models/gedgw.hpp"
+#include "models/gedhot.hpp"
+#include "models/gpn.hpp"
+#include "models/simgnn.hpp"
+#include "models/tagsim.hpp"
+#include "models/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace otged::bench {
+
+/// Bench-scale workload for one of the paper's datasets.
+struct Workload {
+  Dataset dataset;
+  PairSet pairs;
+};
+
+inline Workload MakeWorkload(DatasetKind kind, int graphs = 120,
+                             int train_pairs = 1200, int queries = 6,
+                             int pairs_per_query = 30, uint64_t seed = 7) {
+  Workload w;
+  if (kind == DatasetKind::kImdb) {
+    // IMDB: large graphs -> the paper's synthetic-edit ground truth.
+    // Ego-net size is capped so k-best path search stays CPU-friendly;
+    // the heavy-tailed profile is preserved.
+    Rng rng(seed);
+    w.dataset.name = "IMDB-like";
+    w.dataset.num_labels = 1;
+    for (int i = 0; i < graphs; ++i)
+      w.dataset.graphs.push_back(ImdbLikeGraph(&rng, 7, 36));
+    PairSetOptions opt;
+    opt.num_train_pairs = train_pairs;
+    opt.num_test_queries = queries;
+    opt.pairs_per_query = pairs_per_query;
+    opt.exactify_small = false;
+    opt.seed = seed + 1;
+    w.pairs = MakePairSet(w.dataset, opt);
+  } else {
+    // AIDS / LINUX: small graphs -> arbitrary pairs with exact
+    // branch-and-bound ground truth (the paper's A* protocol).
+    w.dataset = MakeDataset(kind, graphs, seed);
+    ArbitraryPairOptions opt;
+    opt.num_train_pairs = train_pairs;
+    opt.num_test_queries = queries;
+    opt.pairs_per_query = pairs_per_query;
+    opt.seed = seed + 1;
+    w.pairs = MakeArbitraryPairSet(w.dataset, opt);
+  }
+  return w;
+}
+
+inline TrunkConfig BenchTrunk(int num_labels) {
+  TrunkConfig cfg;
+  cfg.num_labels = num_labels;
+  cfg.conv_dims = {24, 24, 24};
+  cfg.out_dim = 16;
+  return cfg;
+}
+
+inline TrainOptions BenchTrain(int epochs = 20) {
+  TrainOptions opt;
+  opt.epochs = epochs;
+  opt.batch_size = 32;
+  opt.lr = 3e-3;
+  return opt;
+}
+
+/// Trains (or loads from the on-disk cache) a model. The cache key folds
+/// in the model name, dataset name and training-set size; benches within
+/// one build tree share trained weights.
+template <typename ModelT>
+void TrainOrLoad(ModelT* model, const std::string& dataset_name,
+                 const std::vector<GedPair>& train,
+                 const TrainOptions& topt) {
+  std::string path = "otged_cache_" + model->Name() + "_" + dataset_name +
+                     "_" + std::to_string(train.size()) + "_" +
+                     std::to_string(topt.epochs) + ".bin";
+  auto params = model->Params();
+  if (LoadParameters(&params, path)) {
+    std::fprintf(stderr, "[bench] loaded cached %s for %s\n",
+                 model->Name().c_str(), dataset_name.c_str());
+    return;
+  }
+  std::fprintf(stderr, "[bench] training %s on %s (%zu pairs)...\n",
+               model->Name().c_str(), dataset_name.c_str(), train.size());
+  TrainModel(model, train, topt);
+  SaveParameters(model->Params(), path);
+}
+
+/// The Noah stand-in: GPN-guided A*-beam (DESIGN.md §3, substitution 3).
+inline GedFn NoahFn(GpnModel* gpn, int beam_width = 16) {
+  return [gpn, beam_width](const GedPair& p) {
+    Matrix guide = gpn->NodeSimilarity(p.g1, p.g2);
+    return static_cast<double>(
+        BeamGed(p.g1, p.g2, beam_width, &guide).ged);
+  };
+}
+
+inline GepFn NoahGepFn(GpnModel* gpn, int beam_width = 16) {
+  return [gpn, beam_width](const GedPair& p) {
+    Matrix guide = gpn->NodeSimilarity(p.g1, p.g2);
+    GedSearchResult r = BeamGed(p.g1, p.g2, beam_width, &guide);
+    GepResult out;
+    out.ged = r.ged;
+    out.matching = r.matching;
+    out.path = EditPathFromMatching(p.g1, p.g2, r.matching);
+    return out;
+  };
+}
+
+inline GedFn ClassicFn() {
+  return [](const GedPair& p) {
+    return static_cast<double>(ClassicGed(p.g1, p.g2).ged);
+  };
+}
+
+inline GepFn ClassicGepFn() {
+  return [](const GedPair& p) {
+    HeuristicResult r = ClassicGed(p.g1, p.g2);
+    GepResult out;
+    out.ged = r.ged;
+    out.matching = r.matching;
+    out.path = r.path;
+    return out;
+  };
+}
+
+/// GEDHOT as value function (min of both members).
+inline GedFn GedhotFn(GedhotModel* hot) {
+  return [hot](const GedPair& p) { return hot->Predict(p.g1, p.g2).ged; };
+}
+
+inline GepFn GedhotGepFn(GedhotModel* hot, int k) {
+  return [hot, k](const GedPair& p) {
+    return hot->GeneratePath(p.g1, p.g2, k);
+  };
+}
+
+}  // namespace otged::bench
+
+#endif  // OTGED_BENCH_BENCH_COMMON_HPP_

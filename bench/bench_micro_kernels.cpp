@@ -1,0 +1,116 @@
+/// \file bench_micro_kernels.cpp
+/// \brief google-benchmark microbenchmarks of the numeric kernels that
+/// dominate the paper's complexity analysis (Section 5.3): the Sinkhorn
+/// sweep (O(M n^2)), the Hungarian LAP (O(n^3)), the GW tensor product
+/// (O(n^3)), conditional gradient, and the exact searchers.
+#include <benchmark/benchmark.h>
+
+#include "assignment/hungarian.hpp"
+#include "assignment/lapjv.hpp"
+#include "core/random.hpp"
+#include "exact/astar.hpp"
+#include "graph/generator.hpp"
+#include "models/gedgw.hpp"
+#include "ot/gromov.hpp"
+#include "ot/sinkhorn.hpp"
+
+namespace {
+
+using namespace otged;
+
+Matrix RandomCost(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (int i = 0; i < m.size(); ++i) m[i] = rng.Uniform(0, 1);
+  return m;
+}
+
+void BM_Sinkhorn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix cost = RandomCost(n, n, 1);
+  Matrix mu = Matrix::ColVec(n, 1.0), nu = Matrix::ColVec(n, 1.0);
+  SinkhornOptions opt;
+  opt.max_iters = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sinkhorn(cost, mu, nu, opt).cost);
+  }
+}
+BENCHMARK(BM_Sinkhorn)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix cost = RandomCost(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignment(cost).cost);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Lapjv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix cost = RandomCost(n, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignmentJV(cost).cost);
+  }
+}
+BENCHMARK(BM_Lapjv)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_GwTensorProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Graph g1 = PowerLawGraph(n, 2, &rng);
+  Graph g2 = PowerLawGraph(n, 2, &rng);
+  Matrix a1 = g1.AdjacencyMatrix(), a2 = g2.AdjacencyMatrix();
+  Matrix pi(n, n, 1.0 / n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GwTensorProduct(a1, a2, pi).Sum());
+  }
+}
+BENCHMARK(BM_GwTensorProduct)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_GedgwSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Graph g = PowerLawGraph(n, 2, &rng);
+  SyntheticEditOptions opt;
+  opt.num_edits = 5;
+  opt.num_labels = 1;
+  opt.allow_relabel = false;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  GedgwSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Predict(pair.g1, pair.g2).ged);
+  }
+}
+BENCHMARK(BM_GedgwSolve)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_AstarExactSmall(benchmark::State& state) {
+  Rng rng(6);
+  Graph g = AidsLikeGraph(&rng, 6, 8);
+  SyntheticEditOptions opt;
+  opt.num_edits = 3;
+  opt.num_labels = 29;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AstarGed(pair.g1, pair.g2)->ged);
+  }
+}
+BENCHMARK(BM_AstarExactSmall);
+
+void BM_BeamSearch(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = ImdbLikeGraph(&rng, 12, 16);
+  SyntheticEditOptions opt;
+  opt.num_edits = 5;
+  opt.num_labels = 1;
+  opt.allow_relabel = false;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BeamGed(pair.g1, pair.g2, 16).ged);
+  }
+}
+BENCHMARK(BM_BeamSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/// \file molecule_screening.cpp
+/// \brief Antiviral-screening flavored demo (the AIDS dataset's origin):
+/// given a reference compound graph, flag database compounds whose edit
+/// distance is within a threshold — using the *unsupervised* GEDGW solver
+/// plus a k-best edit-path certificate for every hit, so a chemist can see
+/// exactly which bonds/atoms differ. No training data needed.
+#include <cstdio>
+
+#include "assignment/kbest.hpp"
+#include "models/gedgw.hpp"
+
+using namespace otged;
+
+int main() {
+  Rng rng(12);
+
+  // Reference "compound" and a screening library of 40 molecules: half
+  // are near-misses (few edits), half are unrelated molecules.
+  Graph reference = AidsLikeGraph(&rng, 7, 10);
+  struct Candidate {
+    Graph mol;
+    bool related;
+  };
+  std::vector<Candidate> library;
+  for (int i = 0; i < 20; ++i) {
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 3);
+    opt.num_labels = 29;
+    library.push_back({SyntheticEditPair(reference, opt, &rng).g2, true});
+  }
+  for (int i = 0; i < 20; ++i) {
+    library.push_back({AidsLikeGraph(&rng, 7, 10), false});
+  }
+
+  const double threshold = 4.0;
+  GedgwSolver solver;
+  int hits = 0, true_hits = 0;
+  std::printf("Screening %zu compounds against the reference (GED <= %.0f):\n",
+              library.size(), threshold);
+  for (size_t i = 0; i < library.size(); ++i) {
+    const Graph& mol = library[i].mol;
+    const Graph& g1 = reference.NumNodes() <= mol.NumNodes() ? reference : mol;
+    const Graph& g2 = reference.NumNodes() <= mol.NumNodes() ? mol : reference;
+    Prediction p = solver.Predict(g1, g2);
+    if (p.ged > threshold) continue;
+    ++hits;
+    if (library[i].related) ++true_hits;
+    // Certificate: a concrete edit path of that length (k-best matching).
+    GepResult cert = KBestGepSearch(g1, g2, p.coupling, /*k=*/12);
+    std::printf("  compound %2zu: GED~%.1f, certificate path %d ops%s\n", i,
+                p.ged, cert.ged, library[i].related ? "" : "  [decoy]");
+  }
+  std::printf("\n%d hits, %d of which are true near-misses (precision %.0f%%)\n",
+              hits, true_hits, hits ? 100.0 * true_hits / hits : 0.0);
+  return 0;
+}

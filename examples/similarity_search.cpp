@@ -1,0 +1,80 @@
+/// \file similarity_search.cpp
+/// \brief Graph similarity search — the workload that motivates the
+/// paper's evaluation protocol. A "database" of program-dependence-style
+/// graphs is ranked against a query graph by approximate GED; we compare
+/// the ranking produced by GEDHOT against the ground truth and report
+/// precision@k, exactly like a graph-database retrieval layer would.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "metrics/metrics.hpp"
+#include "models/gediot.hpp"
+#include "models/gedgw.hpp"
+#include "models/gedhot.hpp"
+#include "models/trainer.hpp"
+
+using namespace otged;
+
+int main() {
+  Rng rng(7);
+
+  // Database: 60 variants of a query graph at increasing edit distance,
+  // mimicking "find functions similar to this one" over a code corpus.
+  Graph query = LinuxLikeGraph(&rng, 7, 9);
+  std::vector<GedPair> database;
+  for (int i = 0; i < 60; ++i) {
+    SyntheticEditOptions opt;
+    opt.num_edits = 1 + i % 8;  // spread of true distances
+    opt.num_labels = 1;
+    opt.allow_relabel = false;
+    database.push_back(SyntheticEditPair(query, opt, &rng));
+  }
+
+  // Train GEDIOT on an independent corpus of the same flavor.
+  std::vector<GedPair> train;
+  for (int i = 0; i < 300; ++i) {
+    Graph g = LinuxLikeGraph(&rng);
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 6);
+    opt.num_labels = 1;
+    opt.allow_relabel = false;
+    train.push_back(SyntheticEditPair(g, opt, &rng));
+  }
+  GediotConfig cfg;
+  cfg.trunk.num_labels = 1;
+  cfg.trunk.conv_dims = {16, 16};
+  cfg.trunk.out_dim = 8;
+  GediotModel gediot(cfg);
+  TrainOptions topt;
+  topt.epochs = 8;
+  TrainModel(&gediot, train, topt);
+  GedgwSolver gedgw;
+  GedhotModel gedhot(&gediot, &gedgw);
+
+  // Rank the database by predicted GED.
+  std::vector<double> pred;
+  std::vector<int> gt;
+  for (const GedPair& p : database) {
+    pred.push_back(gedhot.Predict(p.g1, p.g2).ged);
+    gt.push_back(p.ged);
+  }
+  std::vector<int> order(database.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return pred[a] < pred[b]; });
+
+  std::printf("Top-10 retrieved graphs (predicted vs true GED):\n");
+  for (int i = 0; i < 10; ++i) {
+    int id = order[i];
+    std::printf("  #%2d  db[%2d]  pred %.2f  true %d\n", i + 1, id, pred[id],
+                gt[id]);
+  }
+  std::printf("\nRanking quality over the whole database:\n");
+  std::vector<double> gt_d(gt.begin(), gt.end());
+  std::printf("  Spearman rho: %.3f\n", SpearmanRho(pred, gt_d));
+  std::printf("  Kendall tau:  %.3f\n", KendallTau(pred, gt_d));
+  std::printf("  p@10:         %.2f\n", PrecisionAtK(pred, gt, 10));
+  std::printf("  p@20:         %.2f\n", PrecisionAtK(pred, gt, 20));
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "assignment/kbest.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "heuristics/lower_bounds.hpp"
+
+namespace otged {
+
+namespace {
+
+/// A partition of the matching space: matchings that contain all `forced`
+/// pairs and none of the `forbidden` pairs. Weights are maximized.
+struct Subspace {
+  std::vector<std::pair<int, int>> forced;
+  std::vector<std::pair<int, int>> forbidden;
+  NodeMatching best;          // best matching in this subspace
+  double best_weight = 0.0;
+  NodeMatching second;        // second-best matching (may be empty)
+  double second_weight = -kAssignInf;
+  bool has_second = false;
+};
+
+// Applies subspace constraints to a copy of the weight matrix.
+Matrix ConstrainWeights(const Matrix& weight, const Subspace& s) {
+  Matrix w = weight;
+  for (auto [r, c] : s.forbidden) w(r, c) = -kAssignInf;
+  for (auto [r, c] : s.forced) {
+    for (int j = 0; j < w.cols(); ++j)
+      if (j != c) w(r, j) = -kAssignInf;
+    for (int i = 0; i < w.rows(); ++i)
+      if (i != r) w(i, c) = -kAssignInf;
+  }
+  return w;
+}
+
+// Best matching under constraints; returns false if infeasible.
+bool SolveBest(const Matrix& weight, const Subspace& s, NodeMatching* match,
+               double* total) {
+  Matrix w = ConstrainWeights(weight, s);
+  AssignmentResult res = SolveMaxWeightAssignment(w);
+  if (!res.feasible) return false;
+  // Check no forbidden entry was used (feasible flag covers it, but keep a
+  // direct check since -kAssignInf negation feeds through the solver).
+  for (int i = 0; i < w.rows(); ++i)
+    if (w(i, res.row_to_col[i]) <= -kAssignInf / 2) return false;
+  *match = res.row_to_col;
+  *total = res.cost;
+  return true;
+}
+
+// Second-best matching in the subspace: for each non-forced pair used by
+// `best`, additionally forbid it and re-solve; keep the best outcome.
+bool SolveSecond(const Matrix& weight, const Subspace& s,
+                 const NodeMatching& best, NodeMatching* second,
+                 double* total) {
+  std::set<std::pair<int, int>> forced(s.forced.begin(), s.forced.end());
+  bool found = false;
+  double best_w = -kAssignInf;
+  NodeMatching best_m;
+  for (size_t r = 0; r < best.size(); ++r) {
+    std::pair<int, int> e(static_cast<int>(r), best[r]);
+    if (forced.count(e)) continue;
+    Subspace t = s;
+    t.forbidden.push_back(e);
+    NodeMatching m;
+    double w;
+    if (SolveBest(weight, t, &m, &w) && w > best_w) {
+      best_w = w;
+      best_m = m;
+      found = true;
+    }
+  }
+  if (found) {
+    *second = best_m;
+    *total = best_w;
+  }
+  return found;
+}
+
+// Splits `s` on a pair present in best but not in second; returns the two
+// children with their solutions already positioned per Alg. 4 (best of s
+// goes to the "contains e" child, second-best to the other).
+std::pair<Subspace, Subspace> Split(const Matrix& weight, const Subspace& s) {
+  // Find a splitting pair.
+  int split_row = -1;
+  for (size_t r = 0; r < s.best.size(); ++r) {
+    if (s.best[r] != s.second[r]) {
+      split_row = static_cast<int>(r);
+      break;
+    }
+  }
+  OTGED_CHECK(split_row >= 0);
+  std::pair<int, int> e(split_row, s.best[split_row]);
+
+  Subspace with = s, without = s;
+  with.forced.push_back(e);
+  without.forbidden.push_back(e);
+
+  with.best = s.best;
+  with.best_weight = s.best_weight;
+  with.has_second = SolveSecond(weight, with, with.best, &with.second,
+                                &with.second_weight);
+
+  without.best = s.second;
+  without.best_weight = s.second_weight;
+  without.has_second = SolveSecond(weight, without, without.best,
+                                   &without.second, &without.second_weight);
+  return {with, without};
+}
+
+}  // namespace
+
+std::vector<NodeMatching> KBestMatchings(const Matrix& weight, int k) {
+  std::vector<NodeMatching> out;
+  Subspace root;
+  if (!SolveBest(weight, root, &root.best, &root.best_weight)) return out;
+  out.push_back(root.best);
+  if (k <= 1) return out;
+  root.has_second =
+      SolveSecond(weight, root, root.best, &root.second, &root.second_weight);
+
+  std::vector<Subspace> parts = {root};
+  while (static_cast<int>(out.size()) < k) {
+    // Pick the partition whose second-best has maximal weight.
+    int id = -1;
+    double best_w = -kAssignInf;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].has_second && parts[i].second_weight > best_w) {
+        best_w = parts[i].second_weight;
+        id = static_cast<int>(i);
+      }
+    }
+    if (id < 0) break;  // space exhausted
+    out.push_back(parts[id].second);
+    auto [with, without] = Split(weight, parts[id]);
+    parts[static_cast<size_t>(id)] = with;
+    parts.push_back(without);
+  }
+  return out;
+}
+
+GepResult KBestGepSearch(const Graph& g1, const Graph& g2, const Matrix& pi,
+                         int k) {
+  OTGED_CHECK(pi.rows() == g1.NumNodes() && pi.cols() == g2.NumNodes());
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+
+  GepResult best;
+  best.ged = -1;
+  // Tightest cheap admissible bound: once the incumbent path matches it,
+  // no further partition can improve (Alg. 4's pruning rule).
+  const int lb = BestLowerBound(g1, g2);
+
+  auto consider = [&](const NodeMatching& m) {
+    int cost = EditCostFromMatching(g1, g2, m);
+    if (best.ged < 0 || cost < best.ged) {
+      best.ged = cost;
+      best.matching = m;
+    }
+  };
+
+  Subspace root;
+  if (!SolveBest(pi, root, &root.best, &root.best_weight)) {
+    // Degenerate coupling; fall back to the identity-ish matching.
+    NodeMatching m(g1.NumNodes());
+    for (int i = 0; i < g1.NumNodes(); ++i) m[i] = i;
+    consider(m);
+    best.path = EditPathFromMatching(g1, g2, best.matching);
+    return best;
+  }
+  consider(root.best);
+  root.has_second =
+      SolveSecond(pi, root, root.best, &root.second, &root.second_weight);
+  if (root.has_second) consider(root.second);
+
+  std::vector<Subspace> parts = {root};
+  for (int t = 1; t < k && best.ged > lb; ++t) {
+    int id = -1;
+    double best_w = -kAssignInf;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].has_second && parts[i].second_weight > best_w) {
+        best_w = parts[i].second_weight;
+        id = static_cast<int>(i);
+      }
+    }
+    if (id < 0) break;
+    auto [with, without] = Split(pi, parts[id]);
+    if (with.has_second) consider(with.second);
+    if (without.has_second) consider(without.second);
+    parts[static_cast<size_t>(id)] = with;
+    parts.push_back(without);
+  }
+
+  best.path = EditPathFromMatching(g1, g2, best.matching);
+  OTGED_CHECK(static_cast<int>(best.path.size()) == best.ged);
+  return best;
+}
+
+}  // namespace otged

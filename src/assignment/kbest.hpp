@@ -1,0 +1,40 @@
+/// \file kbest.hpp
+/// \brief k-best bipartite matching via solution-space splitting
+/// (Chegireddy-Hamacher [10]) and the paper's k-best GEP search
+/// framework (Algorithm 4) with label-set lower-bound pruning.
+#ifndef OTGED_ASSIGNMENT_KBEST_HPP_
+#define OTGED_ASSIGNMENT_KBEST_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "assignment/hungarian.hpp"
+#include "editpath/edit_path.hpp"
+
+namespace otged {
+
+/// Enumerates up to `k` distinct maximum-weight node matchings of the
+/// n1 x n2 (n1 <= n2) weight matrix, best first. Weight of a matching is
+/// the sum of its selected entries. Used directly by tests; the GEP
+/// search below interleaves it with edit-path evaluation.
+std::vector<NodeMatching> KBestMatchings(const Matrix& weight, int k);
+
+/// Result of the k-best GEP search.
+struct GepResult {
+  int ged = 0;                  ///< length of the best edit path found
+  NodeMatching matching;        ///< matching that induced it
+  std::vector<EditOp> path;     ///< the edit path itself
+};
+
+/// Algorithm 4 of the paper: splits the matching space into up to `k`
+/// partitions guided by the coupling matrix `pi` (confidence of node
+/// matching), evaluates the best & second-best matching of each partition
+/// with EditPathFromMatching, prunes partitions whose label-set GED lower
+/// bound cannot beat the incumbent, and returns the shortest edit path
+/// seen. The result is always a *feasible* GED upper bound.
+GepResult KBestGepSearch(const Graph& g1, const Graph& g2, const Matrix& pi,
+                         int k);
+
+}  // namespace otged
+
+#endif  // OTGED_ASSIGNMENT_KBEST_HPP_

@@ -1,0 +1,152 @@
+#include "assignment/lapjv.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace otged {
+
+AssignmentResult SolveAssignmentJV(const Matrix& cost) {
+  OTGED_CHECK(cost.rows() == cost.cols());
+  const int n = cost.rows();
+  AssignmentResult res;
+  res.row_to_col.assign(n, -1);
+  if (n == 0) return res;
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<int> rowsol(n, -1), colsol(n, -1);
+  std::vector<double> v(n, 0.0);
+
+  // --- Column reduction (scan columns right-to-left). ---
+  for (int j = n - 1; j >= 0; --j) {
+    double minc = cost(0, j);
+    int imin = 0;
+    for (int i = 1; i < n; ++i) {
+      if (cost(i, j) < minc) {
+        minc = cost(i, j);
+        imin = i;
+      }
+    }
+    v[j] = minc;
+    if (rowsol[imin] == -1) {
+      rowsol[imin] = j;
+      colsol[j] = imin;
+    }
+  }
+
+  // --- Reduction transfer for assigned rows. ---
+  std::vector<int> free_rows;
+  for (int i = 0; i < n; ++i) {
+    if (rowsol[i] == -1) {
+      free_rows.push_back(i);
+    } else {
+      int j1 = rowsol[i];
+      double minv = inf;
+      for (int j = 0; j < n; ++j) {
+        if (j != j1) minv = std::min(minv, cost(i, j) - v[j]);
+      }
+      if (minv < inf) v[j1] -= minv;
+    }
+  }
+
+  // --- Augmenting row reduction (two passes). ---
+  for (int pass = 0; pass < 2 && !free_rows.empty(); ++pass) {
+    std::vector<int> next_free;
+    size_t k = 0;
+    while (k < free_rows.size()) {
+      int i = free_rows[k++];
+      // Find the two smallest reduced costs in row i.
+      double u1 = inf, u2 = inf;
+      int j1 = -1, j2 = -1;
+      for (int j = 0; j < n; ++j) {
+        double h = cost(i, j) - v[j];
+        if (h < u1) {
+          u2 = u1;
+          j2 = j1;
+          u1 = h;
+          j1 = j;
+        } else if (h < u2) {
+          u2 = h;
+          j2 = j;
+        }
+      }
+      int i0 = colsol[j1];
+      if (u1 < u2) {
+        v[j1] -= u2 - u1;
+      } else if (i0 >= 0 && j2 >= 0) {
+        j1 = j2;
+        i0 = colsol[j1];
+      }
+      rowsol[i] = j1;
+      colsol[j1] = i;
+      if (i0 >= 0) {
+        rowsol[i0] = -1;
+        if (u1 < u2) {
+          // i0 goes to the head of the queue (retry immediately).
+          free_rows[--k] = i0;
+        } else {
+          next_free.push_back(i0);
+        }
+      }
+    }
+    free_rows = next_free;
+  }
+
+  // --- Augmentation: Dijkstra-like shortest alternating paths. ---
+  for (int f : free_rows) {
+    std::vector<double> d(n);
+    std::vector<int> pred(n, f);
+    std::vector<char> done(n, false);
+    for (int j = 0; j < n; ++j) d[j] = cost(f, j) - v[j];
+    int endofpath = -1;
+    double mind = 0.0;
+    std::vector<int> scanned;
+    while (endofpath == -1) {
+      // Pick the unscanned column with minimal d.
+      mind = inf;
+      int jmin = -1;
+      for (int j = 0; j < n; ++j) {
+        if (!done[j] && d[j] < mind) {
+          mind = d[j];
+          jmin = j;
+        }
+      }
+      OTGED_CHECK(jmin != -1);
+      done[jmin] = true;
+      scanned.push_back(jmin);
+      if (colsol[jmin] == -1) {
+        endofpath = jmin;
+      } else {
+        int i = colsol[jmin];
+        for (int j = 0; j < n; ++j) {
+          if (done[j]) continue;
+          double alt = mind + cost(i, j) - v[j] - (cost(i, jmin) - v[jmin]);
+          if (alt < d[j]) {
+            d[j] = alt;
+            pred[j] = i;
+          }
+        }
+      }
+    }
+    for (int j : scanned) v[j] += d[j] - mind;
+    // Backtrack the augmenting path.
+    int j = endofpath;
+    while (true) {
+      int i = pred[j];
+      colsol[j] = i;
+      std::swap(rowsol[i], j);
+      if (i == f) break;
+    }
+  }
+
+  res.cost = 0.0;
+  for (int i = 0; i < n; ++i) {
+    res.row_to_col[i] = rowsol[i];
+    double c = cost(i, rowsol[i]);
+    res.cost += c;
+    if (c >= kAssignInf / 2) res.feasible = false;
+  }
+  return res;
+}
+
+}  // namespace otged

@@ -1,0 +1,23 @@
+/// \file lapjv.hpp
+/// \brief Classic Jonker-Volgenant LAP solver (column reduction, reduction
+/// transfer, augmenting row reduction, then augmentation), the engine
+/// behind the paper's "VJ" baseline [15].
+///
+/// Functionally equivalent to hungarian.hpp's solver on the same input;
+/// kept as a distinct implementation because (a) the paper treats
+/// Hungarian and VJ as distinct baselines and (b) the two solvers
+/// cross-check each other in the property tests.
+#ifndef OTGED_ASSIGNMENT_LAPJV_HPP_
+#define OTGED_ASSIGNMENT_LAPJV_HPP_
+
+#include "assignment/hungarian.hpp"
+
+namespace otged {
+
+/// Solves min-cost perfect matching on a square cost matrix with the
+/// Jonker-Volgenant algorithm. Same contract as SolveAssignment().
+AssignmentResult SolveAssignmentJV(const Matrix& cost);
+
+}  // namespace otged
+
+#endif  // OTGED_ASSIGNMENT_LAPJV_HPP_

@@ -1,0 +1,38 @@
+/// \file check.hpp
+/// \brief Lightweight invariant-checking macros used across otged.
+///
+/// Following the database-engine convention (Arrow/RocksDB), hot paths do
+/// not throw; internal invariants are enforced with CHECK macros that
+/// abort with a readable message. `OTGED_CHECK` is always on (cheap
+/// comparisons only); `OTGED_DCHECK` compiles out in NDEBUG builds.
+#ifndef OTGED_CORE_CHECK_HPP_
+#define OTGED_CORE_CHECK_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OTGED_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "OTGED_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define OTGED_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "OTGED_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                  \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define OTGED_DCHECK(cond) ((void)0)
+#else
+#define OTGED_DCHECK(cond) OTGED_CHECK(cond)
+#endif
+
+#endif  // OTGED_CORE_CHECK_HPP_

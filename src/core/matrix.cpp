@@ -1,0 +1,218 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otged {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = static_cast<int>(init.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(init.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : init) {
+    OTGED_CHECK(static_cast<int>(row.size()) == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromVector(const std::vector<double>& v) {
+  Matrix m(static_cast<int>(v.size()), 1);
+  for (size_t i = 0; i < v.size(); ++i) m[static_cast<int>(i)] = v[i];
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix r = *this;
+  r += o;
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix r = *this;
+  r -= o;
+  return r;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix r = *this;
+  r *= s;
+  return r;
+}
+
+Matrix Matrix::operator-() const { return (*this) * -1.0; }
+
+Matrix Matrix::MatMul(const Matrix& o) const {
+  OTGED_CHECK(cols_ == o.rows_);
+  Matrix r(rows_, o.cols_, 0.0);
+  // i-k-j loop order: streams through both operands row-major.
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = &data_[static_cast<size_t>(i) * cols_];
+    double* out = &r.data_[static_cast<size_t>(i) * o.cols_];
+    for (int k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = &o.data_[static_cast<size_t>(k) * o.cols_];
+      for (int j = 0; j < o.cols_; ++j) out[j] += aik * b[j];
+    }
+  }
+  return r;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix r(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  return r;
+}
+
+Matrix Matrix::Hadamard(const Matrix& o) const {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  for (size_t i = 0; i < data_.size(); ++i) r.data_[i] *= o.data_[i];
+  return r;
+}
+
+Matrix Matrix::CwiseDiv(const Matrix& o, double eps) const {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = o.data_[i];
+    if (eps > 0.0 && std::abs(d) < eps) d = d < 0 ? -eps : eps;
+    r.data_[i] /= d;
+  }
+  return r;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  Matrix r = *this;
+  for (double& x : r.data_) x = f(x);
+  return r;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Matrix::Min() const {
+  OTGED_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Max() const {
+  OTGED_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Matrix::Dot(const Matrix& o) const {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) s += data_[i] * o.data_[i];
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const { return std::sqrt(Dot(*this)); }
+
+Matrix Matrix::RowSums() const {
+  Matrix r(rows_, 1);
+  for (int i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < cols_; ++j) s += (*this)(i, j);
+    r(i, 0) = s;
+  }
+  return r;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix r(1, cols_);
+  for (int j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < rows_; ++i) s += (*this)(i, j);
+    r(0, j) = s;
+  }
+  return r;
+}
+
+Matrix Matrix::SliceRows(int r0, int r1) const {
+  OTGED_CHECK(0 <= r0 && r0 <= r1 && r1 <= rows_);
+  Matrix r(r1 - r0, cols_);
+  std::copy(data_.begin() + static_cast<size_t>(r0) * cols_,
+            data_.begin() + static_cast<size_t>(r1) * cols_,
+            r.data_.begin());
+  return r;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& o) const {
+  OTGED_CHECK(rows_ == o.rows_);
+  Matrix r(rows_, cols_ + o.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) r(i, j) = (*this)(i, j);
+    for (int j = 0; j < o.cols_; ++j) r(i, cols_ + j) = o(i, j);
+  }
+  return r;
+}
+
+Matrix Matrix::ConcatRows(const Matrix& o) const {
+  OTGED_CHECK(cols_ == o.cols_);
+  Matrix r(rows_ + o.rows_, cols_);
+  std::copy(data_.begin(), data_.end(), r.data_.begin());
+  std::copy(o.data_.begin(), o.data_.end(),
+            r.data_.begin() + data_.size());
+  return r;
+}
+
+Matrix Matrix::ScaleRows(const Matrix& v) const {
+  OTGED_CHECK(v.rows_ == rows_ && v.cols_ == 1);
+  Matrix r = *this;
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) r(i, j) *= v(i, 0);
+  return r;
+}
+
+Matrix Matrix::ScaleCols(const Matrix& v) const {
+  OTGED_CHECK(v.rows_ == cols_ && v.cols_ == 1);
+  Matrix r = *this;
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) r(i, j) *= v(j, 0);
+  return r;
+}
+
+bool Matrix::AllFinite() const {
+  for (double x : data_)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& o) const {
+  OTGED_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - o.data_[i]));
+  return m;
+}
+
+}  // namespace otged

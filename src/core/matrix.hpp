@@ -1,0 +1,117 @@
+/// \file matrix.hpp
+/// \brief Dense row-major double matrix — the numeric workhorse of otged.
+///
+/// The library deliberately hand-rolls a small dense kernel instead of
+/// depending on an external BLAS: every OT / GW / autograd operation in the
+/// paper reduces to dense matmuls, element-wise maps and reductions on
+/// matrices whose sides are bounded by graph size (n <= a few hundred), so
+/// a cache-friendly row-major kernel is entirely sufficient.
+#ifndef OTGED_CORE_MATRIX_HPP_
+#define OTGED_CORE_MATRIX_HPP_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace otged {
+
+/// Dense row-major matrix of doubles. Vectors are represented as n x 1
+/// (column) or 1 x n (row) matrices.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    OTGED_CHECK(rows >= 0 && cols >= 0);
+  }
+  /// Build from nested initializer list (row by row); used in tests.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0); }
+  static Matrix Identity(int n);
+  /// Column vector full of `fill`.
+  static Matrix ColVec(int n, double fill = 0.0) { return Matrix(n, 1, fill); }
+  static Matrix FromVector(const std::vector<double>& v);  // n x 1
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    OTGED_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    OTGED_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  /// Flat access (row-major).
+  double& operator[](int i) { return data_[i]; }
+  double operator[](int i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Arithmetic. All shape mismatches are CHECK failures.
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+  Matrix operator-() const;
+
+  /// Matrix product this(rows x k) * o(k x cols).
+  Matrix MatMul(const Matrix& o) const;
+  Matrix Transpose() const;
+  /// Element-wise (Hadamard) product.
+  Matrix Hadamard(const Matrix& o) const;
+  /// Element-wise division; denominator entries are clamped away from zero
+  /// by `eps` (Sinkhorn-friendly).
+  Matrix CwiseDiv(const Matrix& o, double eps = 0.0) const;
+  /// Element-wise map.
+  Matrix Map(const std::function<double(double)>& f) const;
+
+  double Sum() const;
+  double Min() const;
+  double Max() const;
+  /// Frobenius dot product <this, o>.
+  double Dot(const Matrix& o) const;
+  double FrobeniusNorm() const;
+  /// Sum of each row -> rows x 1; sum of each column -> 1 x cols.
+  Matrix RowSums() const;
+  Matrix ColSums() const;
+
+  /// Rows [r0, r1) as a new matrix.
+  Matrix SliceRows(int r0, int r1) const;
+  /// Horizontal concatenation [this | o].
+  Matrix ConcatCols(const Matrix& o) const;
+  /// Vertical concatenation [this ; o].
+  Matrix ConcatRows(const Matrix& o) const;
+
+  /// diag(v) * this, where v is rows x 1.
+  Matrix ScaleRows(const Matrix& v) const;
+  /// this * diag(v), where v is cols x 1.
+  Matrix ScaleCols(const Matrix& v) const;
+
+  bool AllFinite() const;
+  /// Max |a - b| over entries; requires equal shape.
+  double MaxAbsDiff(const Matrix& o) const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Scalar on the left.
+inline Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+}  // namespace otged
+
+#endif  // OTGED_CORE_MATRIX_HPP_

@@ -1,0 +1,201 @@
+#include "editpath/edit_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace otged {
+
+std::string EditOp::ToString() const {
+  std::ostringstream os;
+  switch (type) {
+    case EditOpType::kRelabelNode:
+      os << "relabel(v" << a << " -> " << l << ")";
+      break;
+    case EditOpType::kInsertNode:
+      os << "insert_node(v" << a << ", label " << l << ")";
+      break;
+    case EditOpType::kDeleteNode:
+      os << "delete_node(v" << a << ")";
+      break;
+    case EditOpType::kInsertEdge:
+      os << "insert_edge(v" << a << ", v" << b << ")";
+      break;
+    case EditOpType::kDeleteEdge:
+      os << "delete_edge(v" << a << ", v" << b << ")";
+      break;
+    case EditOpType::kRelabelEdge:
+      os << "relabel_edge(v" << a << ", v" << b << " -> " << l << ")";
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+// Validates the matching and builds the inverse map (G2 -> G1, -1 if
+// unmatched).
+std::vector<int> InverseMatching(const Graph& g1, const Graph& g2,
+                                 const NodeMatching& match) {
+  OTGED_CHECK(static_cast<int>(match.size()) == g1.NumNodes());
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  std::vector<int> inv(g2.NumNodes(), -1);
+  for (int u = 0; u < g1.NumNodes(); ++u) {
+    OTGED_CHECK(match[u] >= 0 && match[u] < g2.NumNodes());
+    OTGED_CHECK_MSG(inv[match[u]] == -1, "matching not injective");
+    inv[match[u]] = u;
+  }
+  return inv;
+}
+
+}  // namespace
+
+std::vector<EditOp> EditPathFromMatching(const Graph& g1, const Graph& g2,
+                                         const NodeMatching& match) {
+  std::vector<int> inv = InverseMatching(g1, g2, match);
+  std::vector<EditOp> path;
+
+  // Node relabelings and insertions (checked per G2 node).
+  for (int v = 0; v < g2.NumNodes(); ++v) {
+    if (inv[v] == -1) {
+      path.push_back({EditOpType::kInsertNode, v, -1, g2.label(v)});
+    } else if (g1.label(inv[v]) != g2.label(v)) {
+      path.push_back({EditOpType::kRelabelNode, v, -1, g2.label(v)});
+    }
+  }
+  // Edge deletions and relabelings: edges of G1 against their G2 slots.
+  for (int u = 0; u < g1.NumNodes(); ++u) {
+    for (int w : g1.Neighbors(u)) {
+      if (u >= w) continue;
+      int a = std::min(match[u], match[w]);
+      int b = std::max(match[u], match[w]);
+      if (!g2.HasEdge(a, b)) {
+        path.push_back({EditOpType::kDeleteEdge, a, b, 0});
+      } else if (g1.edge_label(u, w) != g2.edge_label(a, b)) {
+        path.push_back({EditOpType::kRelabelEdge, a, b, g2.edge_label(a, b)});
+      }
+    }
+  }
+  // Edge insertions: edges of G2 with no counterpart in G1.
+  for (int v = 0; v < g2.NumNodes(); ++v) {
+    for (int w : g2.Neighbors(v)) {
+      if (v >= w) continue;
+      bool exists = inv[v] != -1 && inv[w] != -1 && g1.HasEdge(inv[v], inv[w]);
+      if (!exists)
+        path.push_back({EditOpType::kInsertEdge, v, w, g2.edge_label(v, w)});
+    }
+  }
+  return path;
+}
+
+int EditCostFromMatching(const Graph& g1, const Graph& g2,
+                         const NodeMatching& match) {
+  std::vector<int> inv = InverseMatching(g1, g2, match);
+  int cost = 0;
+  for (int v = 0; v < g2.NumNodes(); ++v) {
+    if (inv[v] == -1 || g1.label(inv[v]) != g2.label(v)) ++cost;
+  }
+  int common = 0;
+  for (int u = 0; u < g1.NumNodes(); ++u) {
+    for (int w : g1.Neighbors(u)) {
+      if (u >= w) continue;
+      if (g2.HasEdge(match[u], match[w])) {
+        ++common;
+        if (g1.edge_label(u, w) != g2.edge_label(match[u], match[w]))
+          ++cost;  // edge relabel
+      }
+    }
+  }
+  cost += (g1.NumEdges() - common) + (g2.NumEdges() - common);
+  return cost;
+}
+
+Graph ApplyEditPath(const Graph& g1, const Graph& g2,
+                    const NodeMatching& match,
+                    const std::vector<EditOp>& path) {
+  // Re-house G1 into G2's coordinate system, then replay the path.
+  Graph out(g2.NumNodes(), /*fill_label=*/-1);
+  std::vector<int> inv = InverseMatching(g1, g2, match);
+  std::vector<char> present(g2.NumNodes(), 0);
+  for (int u = 0; u < g1.NumNodes(); ++u) {
+    out.set_label(match[u], g1.label(u));
+    present[match[u]] = 1;
+  }
+  for (int u = 0; u < g1.NumNodes(); ++u)
+    for (int w : g1.Neighbors(u))
+      if (u < w) out.AddEdge(match[u], match[w], g1.edge_label(u, w));
+
+  for (const EditOp& op : path) {
+    switch (op.type) {
+      case EditOpType::kRelabelNode:
+        OTGED_CHECK(present[op.a]);
+        out.set_label(op.a, op.l);
+        break;
+      case EditOpType::kInsertNode:
+        OTGED_CHECK(!present[op.a]);
+        present[op.a] = 1;
+        out.set_label(op.a, op.l);
+        break;
+      case EditOpType::kInsertEdge:
+        OTGED_CHECK(present[op.a] && present[op.b]);
+        out.AddEdge(op.a, op.b, op.l);
+        break;
+      case EditOpType::kDeleteEdge:
+        out.RemoveEdge(op.a, op.b);
+        break;
+      case EditOpType::kRelabelEdge:
+        out.set_edge_label(op.a, op.b, op.l);
+        break;
+      case EditOpType::kDeleteNode:
+        OTGED_CHECK_MSG(false, "node deletion not expected with n1 <= n2");
+    }
+  }
+  for (char p : present) OTGED_CHECK_MSG(p, "path left a node missing");
+  return out;
+}
+
+int PathIntersectionSize(std::vector<EditOp> p1, std::vector<EditOp> p2) {
+  std::sort(p1.begin(), p1.end());
+  std::sort(p2.begin(), p2.end());
+  size_t i = 0, j = 0;
+  int common = 0;
+  while (i < p1.size() && j < p2.size()) {
+    if (p1[i] == p2[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (p1[i] < p2[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+NodeMatching MatchingFromCouplingMatrix(const Matrix& pi) {
+  NodeMatching match(pi.rows(), -1);
+  std::vector<char> used(pi.cols(), 0);
+  for (int i = 0; i < pi.rows(); ++i) {
+    for (int j = 0; j < pi.cols(); ++j) {
+      if (pi(i, j) > 0.5) {
+        OTGED_CHECK_MSG(match[i] == -1, "row with multiple 1s");
+        OTGED_CHECK_MSG(!used[j], "column with multiple 1s");
+        match[i] = j;
+        used[j] = 1;
+      }
+    }
+    OTGED_CHECK_MSG(match[i] != -1, "row without a 1");
+  }
+  return match;
+}
+
+Matrix CouplingMatrixFromMatching(const NodeMatching& match, int n2) {
+  Matrix pi(static_cast<int>(match.size()), n2, 0.0);
+  for (size_t u = 0; u < match.size(); ++u) {
+    OTGED_CHECK(match[u] >= 0 && match[u] < n2);
+    pi(static_cast<int>(u), match[u]) = 1.0;
+  }
+  return pi;
+}
+
+}  // namespace otged

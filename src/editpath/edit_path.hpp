@@ -1,0 +1,89 @@
+/// \file edit_path.hpp
+/// \brief Edit operations and edit-path generation from a node matching
+/// (Algorithm 3 of the paper).
+///
+/// Conventions follow the paper: for a pair (G1, G2) we assume
+/// n1 <= n2 (callers swap otherwise), so a matching assigns every node of
+/// G1 to a distinct node of G2 and the only node operations are
+/// relabelings and insertions (into G1).
+#ifndef OTGED_EDITPATH_EDIT_PATH_HPP_
+#define OTGED_EDITPATH_EDIT_PATH_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace otged {
+
+/// The five edit-operation kinds. With the n1 <= n2 convention, node
+/// deletions never appear in generated paths but the enum keeps the kind
+/// for completeness (e.g., synthetic generators that shrink graphs).
+enum class EditOpType : uint8_t {
+  kRelabelNode,
+  kInsertNode,
+  kDeleteNode,
+  kInsertEdge,
+  kDeleteEdge,
+  kRelabelEdge,  ///< edge-labeled graphs only (paper Appendix H.1)
+};
+
+/// One edit operation, stored in *canonical G2 coordinates* so that two
+/// paths produced from different matchings can be compared as multisets
+/// (the paper's path Recall/Precision/F1 metrics):
+///  - kRelabelNode: a = G2 node the relabeled G1 node maps to, l = new label
+///  - kInsertNode:  a = inserted (unmatched) G2 node, l = its label
+///  - kInsertEdge / kDeleteEdge: (a, b) = G2 endpoints with a < b; for
+///    insertions l carries the edge label (0 when unlabeled)
+///  - kRelabelEdge: (a, b) = G2 endpoints with a < b, l = new edge label
+struct EditOp {
+  EditOpType type;
+  int a = -1;
+  int b = -1;
+  Label l = 0;
+
+  bool operator==(const EditOp& o) const = default;
+  bool operator<(const EditOp& o) const {
+    if (type != o.type) return type < o.type;
+    if (a != o.a) return a < o.a;
+    if (b != o.b) return b < o.b;
+    return l < o.l;
+  }
+  std::string ToString() const;
+};
+
+/// A node matching of (G1, G2): match[u] in [0, n2) is the G2 node that
+/// G1 node u maps to; values are distinct. Size n1.
+using NodeMatching = std::vector<int>;
+
+/// Generates the edit path induced by `match` (Algorithm 3). The returned
+/// path, applied to G1, yields a graph isomorphic to G2 under `match`.
+/// O(n2 + m1 + m2).
+std::vector<EditOp> EditPathFromMatching(const Graph& g1, const Graph& g2,
+                                         const NodeMatching& match);
+
+/// Length of the edit path induced by `match` without materializing it.
+int EditCostFromMatching(const Graph& g1, const Graph& g2,
+                         const NodeMatching& match);
+
+/// Applies `path` (canonical G2 coordinates) to a copy of G1 positioned
+/// under `match` and returns the result; used by tests to verify that the
+/// generated path truly transforms G1 into G2.
+Graph ApplyEditPath(const Graph& g1, const Graph& g2,
+                    const NodeMatching& match,
+                    const std::vector<EditOp>& path);
+
+/// Multiset intersection size |P1 ∩ P2| of two canonical paths.
+int PathIntersectionSize(std::vector<EditOp> p1, std::vector<EditOp> p2);
+
+/// Converts a binary coupling matrix (n1 x n2, exactly one 1 per row,
+/// at most one per column) into a NodeMatching.
+NodeMatching MatchingFromCouplingMatrix(const Matrix& pi);
+
+/// Converts a matching into the paper's 0/1 coupling matrix form.
+Matrix CouplingMatrixFromMatching(const NodeMatching& match, int n2);
+
+}  // namespace otged
+
+#endif  // OTGED_EDITPATH_EDIT_PATH_HPP_

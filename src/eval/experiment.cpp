@@ -1,0 +1,172 @@
+#include "eval/experiment.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace otged {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+GedRow EvaluateGed(const std::string& name, const GedFn& fn,
+                   const std::vector<QueryGroup>& groups) {
+  GedRow row;
+  row.method = name;
+  std::vector<double> all_pred;
+  std::vector<int> all_gt;
+  double rho_sum = 0, tau_sum = 0, p10_sum = 0, p20_sum = 0;
+  int group_count = 0;
+  long pair_count = 0;
+
+  auto start = Clock::now();
+  for (const QueryGroup& group : groups) {
+    std::vector<double> pred;
+    std::vector<double> gt_d;
+    std::vector<int> gt;
+    for (const GedPair& pair : group.pairs) {
+      double p = fn(pair);
+      pred.push_back(p);
+      gt.push_back(pair.ged);
+      gt_d.push_back(pair.ged);
+      all_pred.push_back(p);
+      all_gt.push_back(pair.ged);
+      ++pair_count;
+    }
+    if (pred.size() >= 2) {
+      rho_sum += SpearmanRho(pred, gt_d);
+      tau_sum += KendallTau(pred, gt_d);
+      p10_sum += PrecisionAtK(pred, gt, 10);
+      p20_sum += PrecisionAtK(pred, gt, 20);
+      ++group_count;
+    }
+  }
+  double elapsed = SecondsSince(start);
+
+  row.mae = MeanAbsoluteError(all_pred, all_gt);
+  row.accuracy = Accuracy(all_pred, all_gt);
+  row.feasibility = Feasibility(all_pred, all_gt);
+  if (group_count > 0) {
+    row.rho = rho_sum / group_count;
+    row.tau = tau_sum / group_count;
+    row.p_at_10 = p10_sum / group_count;
+    row.p_at_20 = p20_sum / group_count;
+  }
+  row.sec_per_100p = pair_count > 0 ? elapsed / pair_count * 100.0 : 0.0;
+  return row;
+}
+
+GepRow EvaluateGep(const std::string& name, const GepFn& fn,
+                   const std::vector<QueryGroup>& groups) {
+  GepRow row;
+  row.method = name;
+  std::vector<double> all_pred;
+  std::vector<int> all_gt;
+  double rho_sum = 0, tau_sum = 0, p10_sum = 0, p20_sum = 0;
+  double rec_sum = 0, prec_sum = 0, f1_sum = 0;
+  int group_count = 0;
+  long pair_count = 0;
+
+  auto start = Clock::now();
+  for (const QueryGroup& group : groups) {
+    std::vector<double> pred;
+    std::vector<double> gt_d;
+    std::vector<int> gt;
+    for (const GedPair& pair : group.pairs) {
+      GepResult res = fn(pair);
+      pred.push_back(res.ged);
+      gt.push_back(pair.ged);
+      gt_d.push_back(pair.ged);
+      all_pred.push_back(res.ged);
+      all_gt.push_back(pair.ged);
+      PathQuality q = EvaluatePath(res.path, pair.gt_path);
+      rec_sum += q.recall;
+      prec_sum += q.precision;
+      f1_sum += q.f1;
+      ++pair_count;
+    }
+    if (pred.size() >= 2) {
+      rho_sum += SpearmanRho(pred, gt_d);
+      tau_sum += KendallTau(pred, gt_d);
+      p10_sum += PrecisionAtK(pred, gt, 10);
+      p20_sum += PrecisionAtK(pred, gt, 20);
+      ++group_count;
+    }
+  }
+  double elapsed = SecondsSince(start);
+
+  row.mae = MeanAbsoluteError(all_pred, all_gt);
+  row.accuracy = Accuracy(all_pred, all_gt);
+  if (group_count > 0) {
+    row.rho = rho_sum / group_count;
+    row.tau = tau_sum / group_count;
+    row.p_at_10 = p10_sum / group_count;
+    row.p_at_20 = p20_sum / group_count;
+  }
+  if (pair_count > 0) {
+    row.recall = rec_sum / pair_count;
+    row.precision = prec_sum / pair_count;
+    row.f1 = f1_sum / pair_count;
+    row.sec_per_100p = elapsed / pair_count * 100.0;
+  }
+  return row;
+}
+
+GedFn GedFnFromModel(GedModel* model) {
+  return [model](const GedPair& pair) {
+    return model->Predict(pair.g1, pair.g2).ged;
+  };
+}
+
+GepFn GepFnFromModel(GedModel* model, int k) {
+  return [model, k](const GedPair& pair) {
+    Prediction p = model->Predict(pair.g1, pair.g2);
+    OTGED_CHECK_MSG(!p.coupling.empty(),
+                    "model does not produce a coupling matrix");
+    return KBestGepSearch(pair.g1, pair.g2, p.coupling, k);
+  };
+}
+
+void PrintGedTable(const std::string& title,
+                   const std::vector<GedRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-16s %8s %9s %7s %7s %7s %7s %7s %12s\n", "Method", "MAE",
+              "Acc", "rho", "tau", "p@10", "p@20", "Feas",
+              "sec/100p");
+  for (const GedRow& r : rows) {
+    std::printf("%-16s %8.3f %8.1f%% %7.3f %7.3f %7.3f %7.3f %6.1f%% %12.3f\n",
+                r.method.c_str(), r.mae, 100 * r.accuracy, r.rho, r.tau,
+                r.p_at_10, r.p_at_20, 100 * r.feasibility, r.sec_per_100p);
+  }
+}
+
+void PrintGepTable(const std::string& title,
+                   const std::vector<GepRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-16s %8s %9s %7s %7s %7s %7s %7s %7s %7s %12s\n", "Method",
+              "MAE", "Acc", "rho", "tau", "p@10", "p@20", "Recall", "Prec",
+              "F1", "sec/100p");
+  for (const GepRow& r : rows) {
+    std::printf(
+        "%-16s %8.3f %8.1f%% %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f "
+        "%12.3f\n",
+        r.method.c_str(), r.mae, 100 * r.accuracy, r.rho, r.tau, r.p_at_10,
+        r.p_at_20, r.recall, r.precision, r.f1, r.sec_per_100p);
+  }
+}
+
+std::vector<const GedPair*> FlattenGroups(
+    const std::vector<QueryGroup>& groups) {
+  std::vector<const GedPair*> out;
+  for (const QueryGroup& g : groups)
+    for (const GedPair& p : g.pairs) out.push_back(&p);
+  return out;
+}
+
+}  // namespace otged

@@ -1,0 +1,65 @@
+/// \file experiment.hpp
+/// \brief Experiment drivers shared by the bench binaries: run a GED (or
+/// GEP) method over grouped test pairs, aggregate the paper's metric
+/// suite, and print paper-style tables.
+#ifndef OTGED_EVAL_EXPERIMENT_HPP_
+#define OTGED_EVAL_EXPERIMENT_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assignment/kbest.hpp"
+#include "graph/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+/// One row of a Table-3-style GED evaluation.
+struct GedRow {
+  std::string method;
+  double mae = 0, accuracy = 0, rho = 0, tau = 0, p_at_10 = 0, p_at_20 = 0;
+  double feasibility = 0;
+  double sec_per_100p = 0;
+};
+
+/// One row of a Table-4-style GEP evaluation.
+struct GepRow {
+  std::string method;
+  double mae = 0, accuracy = 0, rho = 0, tau = 0, p_at_10 = 0, p_at_20 = 0;
+  double recall = 0, precision = 0, f1 = 0;
+  double sec_per_100p = 0;
+};
+
+/// A GED estimator under evaluation: continuous prediction per pair.
+using GedFn = std::function<double(const GedPair&)>;
+/// A GEP generator under evaluation.
+using GepFn = std::function<GepResult(const GedPair&)>;
+
+/// Runs `fn` on every pair; value metrics are computed over all pairs,
+/// ranking metrics within each query group and then averaged (the
+/// paper's protocol).
+GedRow EvaluateGed(const std::string& name, const GedFn& fn,
+                   const std::vector<QueryGroup>& groups);
+
+GepRow EvaluateGep(const std::string& name, const GepFn& fn,
+                   const std::vector<QueryGroup>& groups);
+
+/// Wraps a model into a GedFn (Predict().ged).
+GedFn GedFnFromModel(GedModel* model);
+/// Wraps a coupling-producing model into a GepFn via k-best matching.
+GepFn GepFnFromModel(GedModel* model, int k);
+
+void PrintGedTable(const std::string& title,
+                   const std::vector<GedRow>& rows);
+void PrintGepTable(const std::string& title,
+                   const std::vector<GepRow>& rows);
+
+/// Flattens the grouped pairs (handy for training-set reuse in benches).
+std::vector<const GedPair*> FlattenGroups(
+    const std::vector<QueryGroup>& groups);
+
+}  // namespace otged
+
+#endif  // OTGED_EVAL_EXPERIMENT_HPP_

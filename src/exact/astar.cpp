@@ -1,0 +1,114 @@
+#include "exact/astar.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "exact/search_common.hpp"
+
+namespace otged {
+
+using internal::Searcher;
+using internal::SearchState;
+
+std::optional<GedSearchResult> AstarGed(const Graph& g1, const Graph& g2,
+                                        const AstarOptions& opt) {
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  Searcher searcher(g1, g2);
+  const int n1 = g1.NumNodes(), n2 = g2.NumNodes();
+
+  struct QEntry {
+    int f;
+    int depth;
+    SearchState state;
+    bool operator<(const QEntry& o) const {
+      if (f != o.f) return f > o.f;  // min-heap on f
+      return depth < o.depth;        // prefer deeper states
+    }
+  };
+  std::priority_queue<QEntry> open;
+  SearchState root = searcher.Root();
+  open.push({root.f(), 0, root});
+  long expansions = 0;
+
+  while (!open.empty()) {
+    QEntry top = open.top();
+    open.pop();
+    SearchState& s = top.state;
+    if (s.depth == n1) {
+      GedSearchResult res;
+      res.ged = s.g;  // completion cost folded in at push time
+      res.matching = searcher.ExtractMatching(s);
+      res.exact = true;
+      res.expansions = expansions;
+      return res;
+    }
+    if (++expansions > opt.max_expansions) return std::nullopt;
+    for (int v = 0; v < n2; ++v) {
+      if (s.used >> v & 1) continue;
+      SearchState child = searcher.Child(s, v);
+      if (child.depth == n1) {
+        // Fold completion cost so the goal test above is exact; h = 0.
+        child.g += searcher.CompletionCost(child);
+        child.h = 0;
+      }
+      open.push({child.f(), child.depth, std::move(child)});
+    }
+  }
+  return std::nullopt;  // unreachable for non-empty graphs
+}
+
+GedSearchResult BeamGed(const Graph& g1, const Graph& g2, int beam_width,
+                        const Matrix* guidance) {
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  OTGED_CHECK(beam_width >= 1);
+  Searcher searcher(g1, g2);
+  const int n1 = g1.NumNodes(), n2 = g2.NumNodes();
+
+  std::vector<SearchState> frontier = {searcher.Root()};
+  long expansions = 0;
+  bool exhaustive = true;
+
+  for (int depth = 0; depth < n1; ++depth) {
+    std::vector<std::pair<double, SearchState>> children;
+    const int u = searcher.ctx().order[depth];
+    for (const SearchState& s : frontier) {
+      ++expansions;
+      for (int v = 0; v < n2; ++v) {
+        if (s.used >> v & 1) continue;
+        SearchState child = searcher.Child(s, v);
+        double key = child.f();
+        if (guidance != nullptr) {
+          // Learned guidance (Noah stand-in): prefer high-confidence pairs.
+          key -= (*guidance)(u, v);
+        }
+        children.emplace_back(key, std::move(child));
+      }
+    }
+    std::sort(children.begin(), children.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (static_cast<int>(children.size()) > beam_width) {
+      children.resize(beam_width);
+      exhaustive = false;
+    }
+    frontier.clear();
+    for (auto& [key, st] : children) frontier.push_back(std::move(st));
+  }
+
+  GedSearchResult best;
+  best.ged = -1;
+  for (const SearchState& s : frontier) {
+    int total = s.g + searcher.CompletionCost(s);
+    if (best.ged < 0 || total < best.ged) {
+      best.ged = total;
+      best.matching = searcher.ExtractMatching(s);
+    }
+  }
+  OTGED_CHECK(best.ged >= 0);
+  best.exact = exhaustive;
+  best.expansions = expansions;
+  return best;
+}
+
+}  // namespace otged

@@ -1,0 +1,32 @@
+/// \file branch_and_bound.hpp
+/// \brief Depth-first branch-and-bound exact GED verifier.
+///
+/// This is the repository's stand-in for the exact graph-similarity
+/// engines the paper compares against in Fig. 15 (Nass [21] and
+/// AStar-BMao [8]): a memory-light exponential-time exact solver whose
+/// running time is highly sensitive to graph size and GED — exactly the
+/// property the figure measures. It is also used to exactify small
+/// dataset pairs when A*'s memory profile is unfavourable.
+#ifndef OTGED_EXACT_BRANCH_AND_BOUND_HPP_
+#define OTGED_EXACT_BRANCH_AND_BOUND_HPP_
+
+#include <optional>
+
+#include "exact/astar.hpp"
+
+namespace otged {
+
+struct BnbOptions {
+  long max_visits = 5'000'000;  ///< node-visit budget
+  int initial_upper_bound = -1; ///< -1 = derive one greedily
+};
+
+/// Exact GED by DFS branch and bound with the same admissible heuristic
+/// as AstarGed. Returns the best result found; `exact` is true iff the
+/// search space was exhausted within budget (result proven optimal).
+GedSearchResult BranchAndBoundGed(const Graph& g1, const Graph& g2,
+                                  const BnbOptions& opt = {});
+
+}  // namespace otged
+
+#endif  // OTGED_EXACT_BRANCH_AND_BOUND_HPP_

@@ -1,0 +1,180 @@
+/// \file search_common.hpp
+/// \brief Internal shared machinery for the exact GED searches (A*, beam,
+/// branch-and-bound): incremental cost accounting over partial node
+/// mappings plus the admissible label-multiset / edge-count heuristic.
+/// Not part of the public API.
+#ifndef OTGED_EXACT_SEARCH_COMMON_HPP_
+#define OTGED_EXACT_SEARCH_COMMON_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "editpath/edit_path.hpp"
+#include "graph/graph.hpp"
+
+namespace otged::internal {
+
+/// Static context: node mapping order and compacted labels.
+struct SearchContext {
+  const Graph& g1;
+  const Graph& g2;
+  int n1, n2, num_labels;
+  std::vector<int> order;               // depth -> G1 node
+  std::vector<int> g1_label, g2_label;  // compacted label ids
+
+  SearchContext(const Graph& a, const Graph& b) : g1(a), g2(b) {
+    n1 = g1.NumNodes();
+    n2 = g2.NumNodes();
+    OTGED_CHECK(n1 <= n2);
+    std::map<Label, int> remap;
+    auto compact = [&](const Graph& g, std::vector<int>* out) {
+      out->resize(g.NumNodes());
+      for (int v = 0; v < g.NumNodes(); ++v) {
+        auto [it, _] =
+            remap.emplace(g.label(v), static_cast<int>(remap.size()));
+        (*out)[v] = it->second;
+      }
+    };
+    compact(g1, &g1_label);
+    compact(g2, &g2_label);
+    num_labels = static_cast<int>(remap.size());
+    // Degree-descending mapping order tightens the edge heuristic early.
+    order.resize(n1);
+    for (int i = 0; i < n1; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      if (g1.Degree(x) != g1.Degree(y)) return g1.Degree(x) > g1.Degree(y);
+      return x < y;
+    });
+  }
+};
+
+/// Search state over partial mappings. `used` is a bitmask over G2 nodes,
+/// which limits exact search to n2 <= 64 (ample: exact GED beyond ~16
+/// nodes is intractable anyway).
+struct SearchState {
+  std::vector<int> map1to2;
+  uint64_t used = 0;
+  int depth = 0;
+  int g = 0;
+  int h = 0;
+  int f() const { return g + h; }
+};
+
+/// Incremental cost/heuristic evaluator shared by the searches.
+class Searcher {
+ public:
+  Searcher(const Graph& g1, const Graph& g2) : ctx_(g1, g2) {
+    OTGED_CHECK_MSG(ctx_.n2 <= 64, "exact search supports up to 64 nodes");
+    c1_rem_.assign(ctx_.num_labels, 0);
+    c2_rem_.assign(ctx_.num_labels, 0);
+    for (int u = 0; u < ctx_.n1; ++u) c1_rem_[ctx_.g1_label[u]]++;
+    for (int v = 0; v < ctx_.n2; ++v) c2_rem_[ctx_.g2_label[v]]++;
+  }
+
+  const SearchContext& ctx() const { return ctx_; }
+
+  SearchState Root() const {
+    SearchState s;
+    s.map1to2.assign(ctx_.n1, -1);
+    s.h = Heuristic(s);
+    return s;
+  }
+
+  /// True cost increment of mapping the next node (per ctx order) to v.
+  int Delta(const SearchState& s, int v) const {
+    int u = ctx_.order[s.depth];
+    int c = ctx_.g1_label[u] != ctx_.g2_label[v] ? 1 : 0;
+    for (int w : ctx_.g1.Neighbors(u)) {
+      int mv = s.map1to2[w];
+      if (mv < 0) continue;
+      if (!ctx_.g2.HasEdge(v, mv)) {
+        ++c;  // deletion
+      } else if (ctx_.g1.edge_label(u, w) != ctx_.g2.edge_label(v, mv)) {
+        ++c;  // edge relabel (Appendix H.1)
+      }
+    }
+    for (int x : ctx_.g2.Neighbors(v)) {
+      if (!(s.used >> x & 1)) continue;
+      int pre = -1;
+      for (int w = 0; w < ctx_.n1; ++w) {
+        if (s.map1to2[w] == x) {
+          pre = w;
+          break;
+        }
+      }
+      OTGED_DCHECK(pre >= 0);
+      if (!ctx_.g1.HasEdge(u, pre)) ++c;
+    }
+    return c;
+  }
+
+  SearchState Child(const SearchState& s, int v) const {
+    SearchState t = s;
+    int u = ctx_.order[s.depth];
+    t.g += Delta(s, v);
+    t.map1to2[u] = v;
+    t.used |= (1ull << v);
+    t.depth += 1;
+    t.h = Heuristic(t);
+    return t;
+  }
+
+  /// Completion cost once all G1 nodes are mapped: unmatched-node
+  /// insertions plus insertions of G2 edges touching unmatched nodes.
+  int CompletionCost(const SearchState& s) const {
+    OTGED_DCHECK(s.depth == ctx_.n1);
+    int c = ctx_.n2 - ctx_.n1;
+    for (int v = 0; v < ctx_.n2; ++v) {
+      if (s.used >> v & 1) continue;
+      for (int x : ctx_.g2.Neighbors(v)) {
+        if (x > v && !(s.used >> x & 1)) ++c;  // both endpoints unmatched
+        if (s.used >> x & 1) ++c;              // one endpoint unmatched
+      }
+    }
+    return c;
+  }
+
+  /// Admissible heuristic: label-multiset surplus + inevitable insertions
+  /// + remaining-edge-count gap.
+  int Heuristic(const SearchState& s) const {
+    std::vector<int> c1 = c1_rem_, c2 = c2_rem_;
+    for (int u = 0; u < ctx_.n1; ++u)
+      if (s.map1to2[u] >= 0) {
+        c1[ctx_.g1_label[u]]--;
+        c2[ctx_.g2_label[s.map1to2[u]]]--;
+      }
+    int surplus = 0;
+    for (int l = 0; l < ctx_.num_labels; ++l)
+      surplus += std::max(0, c1[l] - c2[l]);
+    int node_lb = surplus + (ctx_.n2 - ctx_.n1);
+
+    int m1_rem = 0;
+    for (int u = 0; u < ctx_.n1; ++u)
+      for (int w : ctx_.g1.Neighbors(u))
+        if (u < w && (s.map1to2[u] < 0 || s.map1to2[w] < 0)) ++m1_rem;
+    int m2_rem = 0;
+    for (int v = 0; v < ctx_.n2; ++v)
+      for (int x : ctx_.g2.Neighbors(v))
+        if (v < x && (!(s.used >> v & 1) || !(s.used >> x & 1))) ++m2_rem;
+    return node_lb + std::abs(m1_rem - m2_rem);
+  }
+
+  NodeMatching ExtractMatching(const SearchState& s) const {
+    NodeMatching m(ctx_.n1);
+    for (int u = 0; u < ctx_.n1; ++u) {
+      OTGED_CHECK(s.map1to2[u] >= 0);
+      m[u] = s.map1to2[u];
+    }
+    return m;
+  }
+
+ private:
+  SearchContext ctx_;
+  std::vector<int> c1_rem_, c2_rem_;
+};
+
+}  // namespace otged::internal
+
+#endif  // OTGED_EXACT_SEARCH_COMMON_HPP_

@@ -1,0 +1,276 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace otged {
+
+namespace {
+
+// Skewed label frequency profile: label k gets weight ~ 1/(k+1)^1.2,
+// mimicking the dominance of C/O/N in molecule datasets.
+std::vector<double> SkewedLabelWeights(int num_labels) {
+  std::vector<double> w(num_labels);
+  for (int k = 0; k < num_labels; ++k) w[k] = 1.0 / std::pow(k + 1, 1.2);
+  return w;
+}
+
+}  // namespace
+
+Graph RandomConnectedGraph(int num_nodes, int extra_edges, int num_labels,
+                           Rng* rng) {
+  OTGED_CHECK(num_nodes >= 1);
+  Graph g(num_nodes);
+  std::vector<double> weights = SkewedLabelWeights(num_labels);
+  for (int v = 0; v < num_nodes; ++v)
+    g.set_label(v, num_labels == 1 ? 0 : rng->Categorical(weights));
+  // Random spanning tree: attach node v to a uniformly random earlier node.
+  for (int v = 1; v < num_nodes; ++v) g.AddEdge(v, rng->UniformInt(0, v - 1));
+  // Extra edges among non-adjacent pairs.
+  const int max_extra =
+      num_nodes * (num_nodes - 1) / 2 - (num_nodes - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  int added = 0, guard = 0;
+  while (added < extra_edges && guard < 100 * (extra_edges + 1)) {
+    ++guard;
+    int u = rng->UniformInt(0, num_nodes - 1);
+    int v = rng->UniformInt(0, num_nodes - 1);
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph AidsLikeGraph(Rng* rng, int min_nodes, int max_nodes) {
+  // Bias toward the top of the range (paper: |V|avg 8.9 with max 10).
+  int n = std::max(rng->UniformInt(min_nodes, max_nodes),
+                   rng->UniformInt(min_nodes, max_nodes));
+  // Molecules are near-trees: |E| ~ |V| (Table 2: 8.9 nodes, 8.8 edges).
+  int extra = n <= 2 ? 0 : rng->UniformInt(0, std::min(3, n - 2));
+  return RandomConnectedGraph(n, extra, /*num_labels=*/29, rng);
+}
+
+Graph LinuxLikeGraph(Rng* rng, int min_nodes, int max_nodes) {
+  int n = rng->UniformInt(min_nodes, max_nodes);
+  // PDGs are sparse: |E| ~ |V| - 1 .. |V| + 2 (Table 2: 7.6 nodes, 6.9 edges).
+  int extra = rng->UniformInt(0, std::min(3, std::max(0, n - 2)));
+  return RandomConnectedGraph(n, extra, /*num_labels=*/1, rng);
+}
+
+Graph ImdbLikeGraph(Rng* rng, int min_nodes, int max_nodes) {
+  // Heavy-tailed size mixture (paper: |V|avg 13 with max 89): most
+  // ego-nets are small; a minority stretch far into the tail.
+  int n;
+  if (rng->Bernoulli(0.85) || max_nodes <= min_nodes + 10) {
+    n = rng->UniformInt(min_nodes, std::min(max_nodes, min_nodes + 9));
+  } else {
+    double u = rng->Uniform();
+    int lo = std::min(max_nodes, min_nodes + 10);
+    n = lo + static_cast<int>((max_nodes - lo) * u * u);
+  }
+  Graph g(n, 0);
+  // Ego-net: overlapping cliques (movies) over the n actors; ensures the
+  // dense profile of Table 2 (13 nodes, 65.9 edges on average).
+  int num_cliques = std::max(1, n / 4 + rng->UniformInt(0, 2));
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int c = 0; c < num_cliques; ++c) {
+    int size = std::min(n, 2 + rng->UniformInt(1, std::max(2, n / 3)));
+    std::vector<int> members = rng->SampleWithoutReplacement(n, size);
+    for (size_t i = 0; i < members.size(); ++i)
+      for (size_t j = i + 1; j < members.size(); ++j)
+        if (!g.HasEdge(members[i], members[j]))
+          g.AddEdge(members[i], members[j]);
+  }
+  // Connect any isolated leftovers so the ego-net is a single component.
+  for (int v = 1; v < n; ++v) {
+    if (g.Degree(v) == 0) g.AddEdge(v, rng->UniformInt(0, v - 1));
+  }
+  return g;
+}
+
+Graph PowerLawGraph(int num_nodes, int m_attach, Rng* rng) {
+  OTGED_CHECK(num_nodes > m_attach && m_attach >= 1);
+  Graph g(num_nodes, 0);
+  // Seed clique of m_attach + 1 nodes.
+  for (int u = 0; u <= m_attach; ++u)
+    for (int v = u + 1; v <= m_attach; ++v) g.AddEdge(u, v);
+  // Preferential attachment via the repeated-endpoints trick.
+  std::vector<int> endpoints;
+  for (int u = 0; u <= m_attach; ++u)
+    for (int v : g.Neighbors(u)) {
+      (void)v;
+      endpoints.push_back(u);
+    }
+  for (int v = m_attach + 1; v < num_nodes; ++v) {
+    std::set<int> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < m_attach && guard < 1000) {
+      ++guard;
+      int t = endpoints[rng->UniformInt(0, static_cast<int>(endpoints.size()) - 1)];
+      if (t != v) targets.insert(t);
+    }
+    for (int t : targets) {
+      g.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph PermuteGraph(const Graph& g, const std::vector<int>& perm) {
+  OTGED_CHECK(static_cast<int>(perm.size()) == g.NumNodes());
+  Graph out(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) out.set_label(perm[v], g.label(v));
+  for (int u = 0; u < g.NumNodes(); ++u)
+    for (int v : g.Neighbors(u))
+      if (u < v) out.AddEdge(perm[u], perm[v], g.edge_label(u, v));
+  return out;
+}
+
+void AssignRandomEdgeLabels(Graph* g, int num_edge_labels, Rng* rng) {
+  OTGED_CHECK(num_edge_labels >= 2);
+  // Skewed like chemical bond types: single >> double >> triple.
+  std::vector<double> weights(num_edge_labels);
+  for (int k = 0; k < num_edge_labels; ++k)
+    weights[k] = 1.0 / std::pow(2.0, k);
+  for (int u = 0; u < g->NumNodes(); ++u)
+    for (int v : g->Neighbors(u))
+      if (u < v) g->set_edge_label(u, v, rng->Categorical(weights));
+}
+
+GedPair SyntheticEditPair(const Graph& g, const SyntheticEditOptions& opt,
+                          Rng* rng) {
+  Graph h = g;  // will become G2 (pre-permutation)
+  const int n1 = g.NumNodes();
+  std::vector<EditOp> ops;  // recorded in pre-permutation coordinates
+  // Non-overlap bookkeeping so the Δ operations cannot cancel each other:
+  // a node is relabeled at most once, an edge slot is flipped at most once,
+  // and inserted nodes are not otherwise touched.
+  std::set<int> relabeled;
+  std::set<std::pair<int, int>> touched_edges;
+
+  auto edge_key = [](int u, int v) {
+    return std::make_pair(std::min(u, v), std::max(u, v));
+  };
+  std::vector<double> label_weights(std::max(1, opt.num_labels), 1.0);
+
+  int made = 0, guard = 0;
+  while (made < opt.num_edits && guard < 1000 * (opt.num_edits + 1)) {
+    ++guard;
+    // Weighted op choice; relabels only when labels exist.
+    double r = rng->Uniform();
+    bool labeled = opt.allow_relabel && opt.num_labels > 1;
+    if (labeled && r < 0.35) {
+      // Relabel a not-yet-relabeled original node.
+      int v = rng->UniformInt(0, n1 - 1);
+      if (relabeled.count(v)) continue;
+      Label nl = rng->UniformInt(0, opt.num_labels - 1);
+      if (nl == h.label(v)) continue;
+      h.set_label(v, nl);
+      relabeled.insert(v);
+      ops.push_back({EditOpType::kRelabelNode, v, -1, nl});
+      ++made;
+    } else if (r < (labeled ? 0.45 : 0.15)) {
+      // Insert a node (isolated); subsequent edge insertions may attach it.
+      Label nl = opt.num_labels > 1 ? rng->UniformInt(0, opt.num_labels - 1)
+                                    : 0;
+      int v = h.AddNode(nl);
+      ops.push_back({EditOpType::kInsertNode, v, -1, nl});
+      ++made;
+      // Attach with one edge so the graph stays connected (counts as an
+      // operation too, if the budget allows; otherwise leave isolated).
+      if (made < opt.num_edits && h.NumNodes() >= 2) {
+        int t = rng->UniformInt(0, h.NumNodes() - 2);
+        h.AddEdge(v, t);
+        touched_edges.insert(edge_key(v, t));
+        ops.push_back({EditOpType::kInsertEdge, std::min(v, t),
+                       std::max(v, t), 0});
+        ++made;
+      }
+    } else if (opt.num_edge_labels > 1 &&
+               r < (labeled ? 0.55 : 0.35)) {
+      // Relabel an untouched existing edge (edge-labeled graphs only).
+      if (h.NumEdges() == 0) continue;
+      int u = rng->UniformInt(0, h.NumNodes() - 1);
+      if (h.Degree(u) == 0) continue;
+      int v = h.Neighbors(u)[rng->UniformInt(0, h.Degree(u) - 1)];
+      if (touched_edges.count(edge_key(u, v))) continue;
+      Label nl = rng->UniformInt(0, opt.num_edge_labels - 1);
+      if (nl == h.edge_label(u, v)) continue;
+      h.set_edge_label(u, v, nl);
+      touched_edges.insert(edge_key(u, v));
+      ops.push_back({EditOpType::kRelabelEdge, std::min(u, v),
+                     std::max(u, v), nl});
+      ++made;
+    } else if (r < (labeled ? 0.75 : 0.6)) {
+      // Insert an edge between non-adjacent untouched pair.
+      if (h.NumNodes() < 2) continue;
+      int u = rng->UniformInt(0, h.NumNodes() - 1);
+      int v = rng->UniformInt(0, h.NumNodes() - 1);
+      if (u == v || h.HasEdge(u, v) || touched_edges.count(edge_key(u, v)))
+        continue;
+      Label el = opt.num_edge_labels > 1
+                     ? rng->UniformInt(0, opt.num_edge_labels - 1)
+                     : 0;
+      h.AddEdge(u, v, el);
+      touched_edges.insert(edge_key(u, v));
+      ops.push_back({EditOpType::kInsertEdge, std::min(u, v), std::max(u, v),
+                     el});
+      ++made;
+    } else {
+      // Delete an untouched edge.
+      if (h.NumEdges() == 0) continue;
+      int u = rng->UniformInt(0, h.NumNodes() - 1);
+      if (h.Degree(u) == 0) continue;
+      int v = h.Neighbors(u)[rng->UniformInt(0, h.Degree(u) - 1)];
+      if (touched_edges.count(edge_key(u, v))) continue;
+      h.RemoveEdge(u, v);
+      touched_edges.insert(edge_key(u, v));
+      ops.push_back({EditOpType::kDeleteEdge, std::min(u, v), std::max(u, v),
+                     0});
+      ++made;
+    }
+  }
+
+  // Random permutation of G2's node ids hides the identity correspondence.
+  const int n2 = h.NumNodes();
+  std::vector<int> perm(n2);
+  for (int i = 0; i < n2; ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+
+  GedPair pair;
+  pair.g1 = g;
+  pair.g2 = PermuteGraph(h, perm);
+  pair.ged = made;
+  pair.exact = false;
+  pair.gt_matching.resize(n1);
+  for (int u = 0; u < n1; ++u) pair.gt_matching[u] = perm[u];
+  // Rewrite the recorded ops into canonical (post-permutation) coordinates.
+  for (EditOp op : ops) {
+    switch (op.type) {
+      case EditOpType::kRelabelNode:
+      case EditOpType::kInsertNode:
+        op.a = perm[op.a];
+        break;
+      case EditOpType::kInsertEdge:
+      case EditOpType::kDeleteEdge:
+      case EditOpType::kRelabelEdge: {
+        int a = perm[op.a], b = perm[op.b];
+        op.a = std::min(a, b);
+        op.b = std::max(a, b);
+        break;
+      }
+      case EditOpType::kDeleteNode:
+        break;
+    }
+    pair.gt_path.push_back(op);
+  }
+  return pair;
+}
+
+}  // namespace otged

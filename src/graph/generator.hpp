@@ -1,0 +1,76 @@
+/// \file generator.hpp
+/// \brief Synthetic graph generators mimicking the paper's datasets and the
+/// synthetic-edit ground-truth technique of [1, 35].
+#ifndef OTGED_GRAPH_GENERATOR_HPP_
+#define OTGED_GRAPH_GENERATOR_HPP_
+
+#include <vector>
+
+#include "core/random.hpp"
+#include "editpath/edit_path.hpp"
+#include "graph/graph.hpp"
+
+namespace otged {
+
+/// Random connected graph: a random spanning tree plus `extra_edges`
+/// uniformly random additional edges. Labels drawn from a skewed
+/// categorical distribution over `num_labels` (chemistry-like when
+/// num_labels > 1; pass 1 for unlabeled).
+Graph RandomConnectedGraph(int num_nodes, int extra_edges, int num_labels,
+                           Rng* rng);
+
+/// AIDS-like molecule graph: n in [min_nodes, max_nodes], sparse
+/// (m ~ n), 29 node labels with a heavy-tailed frequency profile.
+Graph AidsLikeGraph(Rng* rng, int min_nodes = 2, int max_nodes = 10);
+
+/// LINUX-like program-dependence graph: unlabeled, sparse, n in
+/// [min_nodes, max_nodes], m ~ n - 1 .. n + 2.
+Graph LinuxLikeGraph(Rng* rng, int min_nodes = 4, int max_nodes = 10);
+
+/// IMDB-like ego network: unlabeled, built from overlapping cliques so
+/// the density profile matches actor collaboration ego-nets; n drawn from
+/// a heavy-tailed range [min_nodes, max_nodes].
+Graph ImdbLikeGraph(Rng* rng, int min_nodes = 7, int max_nodes = 89);
+
+/// Barabasi-Albert style power-law graph with `num_nodes` nodes,
+/// attachment parameter `m_attach`; used by the Fig. 16 experiment.
+Graph PowerLawGraph(int num_nodes, int m_attach, Rng* rng);
+
+/// A graph pair with known ground truth: the exact (or, for synthetic-edit
+/// pairs, upper-bound) GED, the ground-truth coupling matrix pi* (n1 x n2)
+/// and one ground-truth edit path in canonical G2 coordinates.
+struct GedPair {
+  Graph g1, g2;
+  int ged = 0;
+  NodeMatching gt_matching;       ///< G1 node -> G2 node
+  std::vector<EditOp> gt_path;    ///< canonical coordinates w.r.t. g2
+  bool exact = false;             ///< true if `ged` was verified exact
+};
+
+/// Options for the synthetic-edit pair generator.
+struct SyntheticEditOptions {
+  int num_edits = 3;             ///< Δ, the number of edit operations
+  bool allow_relabel = true;     ///< only meaningful for labeled graphs
+  int num_labels = 1;            ///< label alphabet for relabels/insertions
+  int num_edge_labels = 1;       ///< > 1 enables edge-relabel operations
+};
+
+/// The ground-truth generation technique of [1, 35]: applies `num_edits`
+/// non-overlapping random edit operations to a copy of `g`, then randomly
+/// permutes node ids of the result. Returns the pair with Δ as the GED
+/// (an upper bound that is almost surely tight for Δ << n + m) and the
+/// known node correspondence. G2 always has >= as many nodes as G1.
+GedPair SyntheticEditPair(const Graph& g, const SyntheticEditOptions& opt,
+                          Rng* rng);
+
+/// Permutes node ids of `g` by `perm` (node v becomes perm[v]); node and
+/// edge labels travel with the permutation.
+Graph PermuteGraph(const Graph& g, const std::vector<int>& perm);
+
+/// Assigns a skewed random edge label in [0, num_edge_labels) to every
+/// edge (paper Appendix H.1; label 0 plays the "single bond" role).
+void AssignRandomEdgeLabels(Graph* g, int num_edge_labels, Rng* rng);
+
+}  // namespace otged
+
+#endif  // OTGED_GRAPH_GENERATOR_HPP_

@@ -1,0 +1,159 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace otged {
+
+int Graph::AddNode(Label l) {
+  labels_.push_back(l);
+  adj_.emplace_back();
+  return NumNodes() - 1;
+}
+
+void Graph::AddEdge(int u, int v, Label edge_label) {
+  OTGED_CHECK(u >= 0 && u < NumNodes() && v >= 0 && v < NumNodes());
+  OTGED_CHECK_MSG(u != v, "self loops not supported");
+  OTGED_CHECK_MSG(!HasEdge(u, v), "duplicate edge");
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  if (edge_label != 0) edge_labels_[EdgeKey(u, v)] = edge_label;
+  ++num_edges_;
+}
+
+void Graph::RemoveEdge(int u, int v) {
+  OTGED_CHECK(HasEdge(u, v));
+  adj_[u].erase(std::lower_bound(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  edge_labels_.erase(EdgeKey(u, v));
+  --num_edges_;
+}
+
+Label Graph::edge_label(int u, int v) const {
+  OTGED_DCHECK(HasEdge(u, v));
+  auto it = edge_labels_.find(EdgeKey(u, v));
+  return it == edge_labels_.end() ? 0 : it->second;
+}
+
+void Graph::set_edge_label(int u, int v, Label l) {
+  OTGED_CHECK(HasEdge(u, v));
+  if (l == 0) {
+    edge_labels_.erase(EdgeKey(u, v));
+  } else {
+    edge_labels_[EdgeKey(u, v)] = l;
+  }
+}
+
+std::vector<Label> Graph::EdgeLabelAlphabet() const {
+  std::vector<Label> out;
+  for (const auto& [key, l] : edge_labels_) out.push_back(l);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u < 0 || v < 0 || u >= NumNodes() || v >= NumNodes()) return false;
+  const auto& a = adj_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+Matrix Graph::AdjacencyMatrix() const {
+  const int n = NumNodes();
+  Matrix a(n, n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v : adj_[u]) a(u, v) = 1.0;
+  return a;
+}
+
+Matrix Graph::OneHotLabels(int num_labels) const {
+  OTGED_CHECK(num_labels >= 1);
+  const int n = NumNodes();
+  Matrix x(n, num_labels, 0.0);
+  for (int v = 0; v < n; ++v) {
+    if (num_labels == 1) {
+      x(v, 0) = 1.0;  // unlabeled: constant feature
+    } else {
+      OTGED_CHECK(labels_[v] >= 0 && labels_[v] < num_labels);
+      x(v, labels_[v]) = 1.0;
+    }
+  }
+  return x;
+}
+
+bool Graph::IsConnected() const {
+  const int n = NumNodes();
+  if (n <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<int> stack = {0};
+  seen[0] = 1;
+  int count = 1;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (int v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+bool Graph::CheckInvariants() const {
+  int edge_endpoints = 0;
+  for (int u = 0; u < NumNodes(); ++u) {
+    if (!std::is_sorted(adj_[u].begin(), adj_[u].end())) return false;
+    if (std::adjacent_find(adj_[u].begin(), adj_[u].end()) != adj_[u].end())
+      return false;
+    for (int v : adj_[u]) {
+      if (v < 0 || v >= NumNodes() || v == u) return false;
+      if (!HasEdge(v, u)) return false;
+    }
+    edge_endpoints += static_cast<int>(adj_[u].size());
+  }
+  return edge_endpoints == 2 * num_edges_;
+}
+
+bool Graph::operator==(const Graph& o) const {
+  return labels_ == o.labels_ && adj_ == o.adj_ &&
+         edge_labels_ == o.edge_labels_;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << NumNodes() << " " << NumEdges() << " |";
+  for (Label l : labels_) os << " " << l;
+  os << " |";
+  for (int u = 0; u < NumNodes(); ++u)
+    for (int v : adj_[u])
+      if (u < v) os << " (" << u << "," << v << ")";
+  return os.str();
+}
+
+int MaxEditOps(const Graph& g1, const Graph& g2) {
+  return std::max(g1.NumNodes(), g2.NumNodes()) +
+         std::max(g1.NumEdges(), g2.NumEdges());
+}
+
+int LabelSetLowerBound(const Graph& g1, const Graph& g2) {
+  std::map<Label, int> count;
+  for (int v = 0; v < g1.NumNodes(); ++v) count[g1.label(v)]++;
+  for (int v = 0; v < g2.NumNodes(); ++v) count[g2.label(v)]--;
+  // Multiset symmetric difference |A xor B| = sum |count|; each relabel
+  // fixes two mismatched labels but each insertion fixes one, so the number
+  // of node ops needed is at least max(surplus, deficit).
+  int surplus = 0, deficit = 0;
+  for (const auto& [l, c] : count) {
+    if (c > 0) surplus += c;
+    else deficit -= c;
+  }
+  int node_lb = std::max(surplus, deficit);
+  int edge_lb = std::abs(g1.NumEdges() - g2.NumEdges());
+  return node_lb + edge_lb;
+}
+
+}  // namespace otged

@@ -1,0 +1,110 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace otged {
+
+void WriteGraph(std::ostream& out, const Graph& g) {
+  out << "t " << g.NumNodes() << " " << g.NumEdges() << "\n";
+  for (int v = 0; v < g.NumNodes(); ++v)
+    out << "v " << v << " " << g.label(v) << "\n";
+  for (int u = 0; u < g.NumNodes(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (u >= v) continue;
+      out << "e " << u << " " << v;
+      if (g.edge_label(u, v) != 0) out << " " << g.edge_label(u, v);
+      out << "\n";
+    }
+  }
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
+  std::string line;
+  // Skip blank lines before the header.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') break;
+  }
+  if (!in && line.empty()) return std::nullopt;  // clean EOF
+  std::istringstream header(line);
+  char tag = 0;
+  int n = -1, m = -1;
+  if (!(header >> tag >> n >> m) || tag != 't' || n < 0 || m < 0) {
+    Fail(error, "bad graph header: " + line);
+    return std::nullopt;
+  }
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    int id = -1, label = 0;
+    if (!std::getline(in, line)) {
+      Fail(error, "truncated node section");
+      return std::nullopt;
+    }
+    std::istringstream node(line);
+    if (!(node >> tag >> id >> label) || tag != 'v' || id != i) {
+      Fail(error, "bad node line: " + line);
+      return std::nullopt;
+    }
+    g.set_label(id, label);
+  }
+  for (int i = 0; i < m; ++i) {
+    if (!std::getline(in, line)) {
+      Fail(error, "truncated edge section");
+      return std::nullopt;
+    }
+    std::istringstream edge(line);
+    int u = -1, v = -1, el = 0;
+    if (!(edge >> tag >> u >> v) || tag != 'e' || u < 0 || v < 0 || u >= n ||
+        v >= n || u == v) {
+      Fail(error, "bad edge line: " + line);
+      return std::nullopt;
+    }
+    edge >> el;  // optional label
+    if (g.HasEdge(u, v)) {
+      Fail(error, "duplicate edge: " + line);
+      return std::nullopt;
+    }
+    g.AddEdge(u, v, el);
+  }
+  return g;
+}
+
+bool SaveGraphs(const std::string& path, const std::vector<Graph>& graphs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const Graph& g : graphs) WriteGraph(out, g);
+  return static_cast<bool>(out);
+}
+
+std::vector<Graph> LoadGraphs(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  std::vector<Graph> graphs;
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return graphs;
+  }
+  while (true) {
+    std::string local_error;
+    std::optional<Graph> g = ReadGraph(in, &local_error);
+    if (!g.has_value()) {
+      if (!local_error.empty()) {
+        if (error != nullptr) *error = local_error;
+        graphs.clear();
+      }
+      break;
+    }
+    graphs.push_back(std::move(*g));
+  }
+  return graphs;
+}
+
+}  // namespace otged

@@ -1,0 +1,36 @@
+/// \file graph_io.hpp
+/// \brief Plain-text graph (de)serialization and corpus I/O, so users can
+/// run otged on their own data (and so the CLI example has a format).
+///
+/// Format (one graph):
+///   t <num_nodes> <num_edges>
+///   v <id> <label>            (num_nodes lines, ids 0..n-1)
+///   e <u> <v> [edge_label]    (num_edges lines)
+/// A corpus file is a concatenation of graphs.
+#ifndef OTGED_GRAPH_GRAPH_IO_HPP_
+#define OTGED_GRAPH_GRAPH_IO_HPP_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace otged {
+
+/// Writes one graph in the `t/v/e` format.
+void WriteGraph(std::ostream& out, const Graph& g);
+
+/// Reads one graph; returns nullopt at end-of-stream. Malformed input is
+/// reported via the optional `error` string (nullopt returned).
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error = nullptr);
+
+/// Whole-corpus helpers. Load returns an empty vector + error on failure.
+bool SaveGraphs(const std::string& path, const std::vector<Graph>& graphs);
+std::vector<Graph> LoadGraphs(const std::string& path,
+                              std::string* error = nullptr);
+
+}  // namespace otged
+
+#endif  // OTGED_GRAPH_GRAPH_IO_HPP_

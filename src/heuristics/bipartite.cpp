@@ -1,0 +1,125 @@
+#include "heuristics/bipartite.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "assignment/hungarian.hpp"
+#include "assignment/lapjv.hpp"
+
+namespace otged {
+
+namespace {
+
+// Multiset difference size between the neighbor-label multisets of u in g1
+// and v in g2: a lower bound on incident-edge substitutions.
+int NeighborLabelDiff(const Graph& g1, int u, const Graph& g2, int v) {
+  std::map<Label, int> count;
+  for (int w : g1.Neighbors(u)) count[g1.label(w)]++;
+  for (int x : g2.Neighbors(v)) count[g2.label(x)]--;
+  int surplus = 0, deficit = 0;
+  for (const auto& [l, c] : count) {
+    if (c > 0) surplus += c;
+    else deficit -= c;
+  }
+  return std::max(surplus, deficit);
+}
+
+// Repairs a square BP assignment into a total injective G1 -> G2 matching:
+// G1 nodes assigned to deletion columns are re-paired with G2 nodes
+// assigned to insertion rows (label-matching pairs first).
+NodeMatching RepairMatching(const Graph& g1, const Graph& g2,
+                            const std::vector<int>& row_to_col) {
+  const int n1 = g1.NumNodes(), n2 = g2.NumNodes();
+  NodeMatching match(n1, -1);
+  std::vector<char> used(n2, 0);
+  std::vector<int> deleted;  // G1 nodes sent to the deletion block
+  for (int i = 0; i < n1; ++i) {
+    int j = row_to_col[i];
+    if (j < n2) {
+      match[i] = j;
+      used[j] = 1;
+    } else {
+      deleted.push_back(i);
+    }
+  }
+  std::vector<int> inserted;  // G2 nodes with no substitution partner
+  for (int j = 0; j < n2; ++j)
+    if (!used[j]) inserted.push_back(j);
+  OTGED_CHECK(deleted.size() <= inserted.size());
+  // Pair label-equal (node, slot) combinations first.
+  std::vector<char> slot_used(inserted.size(), 0);
+  for (int u : deleted) {
+    int pick = -1;
+    for (size_t s = 0; s < inserted.size(); ++s) {
+      if (slot_used[s]) continue;
+      if (g2.label(inserted[s]) == g1.label(u)) {
+        pick = static_cast<int>(s);
+        break;
+      }
+      if (pick == -1) pick = static_cast<int>(s);
+    }
+    OTGED_CHECK(pick >= 0);
+    slot_used[pick] = 1;
+    match[u] = inserted[pick];
+  }
+  return match;
+}
+
+HeuristicResult SolveWith(const Graph& g1, const Graph& g2,
+                          bool use_neighbor_labels, bool use_jv) {
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  Matrix cost = BipartiteCostMatrix(g1, g2, use_neighbor_labels);
+  AssignmentResult lap =
+      use_jv ? SolveAssignmentJV(cost) : SolveAssignment(cost);
+  HeuristicResult res;
+  res.matching = RepairMatching(g1, g2, lap.row_to_col);
+  res.path = EditPathFromMatching(g1, g2, res.matching);
+  res.ged = static_cast<int>(res.path.size());
+  return res;
+}
+
+}  // namespace
+
+Matrix BipartiteCostMatrix(const Graph& g1, const Graph& g2,
+                           bool use_neighbor_labels) {
+  const int n1 = g1.NumNodes(), n2 = g2.NumNodes();
+  const int n = n1 + n2;
+  Matrix c(n, n, 0.0);
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      double sub = g1.label(i) != g2.label(j) ? 1.0 : 0.0;
+      if (use_neighbor_labels) {
+        sub += NeighborLabelDiff(g1, i, g2, j) / 2.0;
+      } else {
+        sub += std::abs(g1.Degree(i) - g2.Degree(j)) / 2.0;
+      }
+      c(i, j) = sub;
+    }
+  }
+  // Deletion block (G1 node i -> eps): diagonal finite, rest forbidden.
+  for (int i = 0; i < n1; ++i)
+    for (int j = 0; j < n1; ++j)
+      c(i, n2 + j) = (i == j) ? 1.0 + g1.Degree(i) / 2.0 : kAssignInf;
+  // Insertion block (eps -> G2 node j).
+  for (int i = 0; i < n2; ++i)
+    for (int j = 0; j < n2; ++j)
+      c(n1 + i, j) = (i == j) ? 1.0 + g2.Degree(j) / 2.0 : kAssignInf;
+  // eps -> eps block stays 0.
+  return c;
+}
+
+HeuristicResult HungarianGed(const Graph& g1, const Graph& g2) {
+  return SolveWith(g1, g2, /*use_neighbor_labels=*/false, /*use_jv=*/false);
+}
+
+HeuristicResult VjGed(const Graph& g1, const Graph& g2) {
+  return SolveWith(g1, g2, /*use_neighbor_labels=*/true, /*use_jv=*/true);
+}
+
+HeuristicResult ClassicGed(const Graph& g1, const Graph& g2) {
+  HeuristicResult a = HungarianGed(g1, g2);
+  HeuristicResult b = VjGed(g1, g2);
+  return a.ged <= b.ged ? a : b;
+}
+
+}  // namespace otged

@@ -1,0 +1,157 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace otged {
+
+namespace {
+
+// Average ranks (1-based) with tie averaging.
+std::vector<double> AverageRanks(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](int a, int b) { return x[a] < x[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && x[idx[j + 1]] == x[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[idx[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double num = 0, da = 0, db = 0;
+  for (size_t i = 0; i < n; ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0 || db <= 0) return da == db ? 1.0 : 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace
+
+double MeanAbsoluteError(const std::vector<double>& pred,
+                         const std::vector<int>& gt) {
+  OTGED_CHECK(pred.size() == gt.size() && !pred.empty());
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) s += std::abs(pred[i] - gt[i]);
+  return s / pred.size();
+}
+
+double Accuracy(const std::vector<double>& pred, const std::vector<int>& gt) {
+  OTGED_CHECK(pred.size() == gt.size() && !pred.empty());
+  int hit = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (static_cast<int>(std::lround(pred[i])) == gt[i]) ++hit;
+  return static_cast<double>(hit) / pred.size();
+}
+
+double Feasibility(const std::vector<double>& pred,
+                   const std::vector<int>& gt) {
+  OTGED_CHECK(pred.size() == gt.size() && !pred.empty());
+  int ok = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (std::lround(pred[i]) >= gt[i]) ++ok;
+  return static_cast<double>(ok) / pred.size();
+}
+
+double SpearmanRho(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  OTGED_CHECK(a.size() == b.size());
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  OTGED_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  long concordant = 0, discordant = 0, ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j], db = b[i] - b[j];
+      if (da == 0 && db == 0) continue;
+      if (da == 0) {
+        ++ties_a;
+      } else if (db == 0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double denom = std::sqrt(static_cast<double>(concordant + discordant +
+                                               ties_a) *
+                           static_cast<double>(concordant + discordant +
+                                               ties_b));
+  if (denom == 0) return 1.0;
+  return (concordant - discordant) / denom;
+}
+
+double PrecisionAtK(const std::vector<double>& pred,
+                    const std::vector<int>& gt, int k) {
+  OTGED_CHECK(pred.size() == gt.size());
+  const int n = static_cast<int>(pred.size());
+  k = std::min(k, n);
+  if (k == 0) return 1.0;
+  std::vector<int> ip(n), ig(n);
+  std::iota(ip.begin(), ip.end(), 0);
+  ig = ip;
+  std::stable_sort(ip.begin(), ip.end(),
+                   [&](int x, int y) { return pred[x] < pred[y]; });
+  std::stable_sort(ig.begin(), ig.end(),
+                   [&](int x, int y) { return gt[x] < gt[y]; });
+  std::vector<char> in_gt(n, 0);
+  for (int i = 0; i < k; ++i) in_gt[ig[i]] = 1;
+  int hit = 0;
+  for (int i = 0; i < k; ++i)
+    if (in_gt[ip[i]]) ++hit;
+  return static_cast<double>(hit) / k;
+}
+
+PathQuality EvaluatePath(const std::vector<EditOp>& predicted,
+                         const std::vector<EditOp>& ground_truth) {
+  PathQuality q;
+  if (predicted.empty() && ground_truth.empty()) {
+    q.recall = q.precision = q.f1 = 1.0;
+    return q;
+  }
+  int common = PathIntersectionSize(predicted, ground_truth);
+  q.recall = ground_truth.empty()
+                 ? 1.0
+                 : static_cast<double>(common) / ground_truth.size();
+  q.precision =
+      predicted.empty() ? 1.0 : static_cast<double>(common) / predicted.size();
+  q.f1 = (q.recall + q.precision) > 0
+             ? 2 * q.recall * q.precision / (q.recall + q.precision)
+             : 0.0;
+  return q;
+}
+
+double TriangleInequalityRate(const std::vector<double>& d12,
+                              const std::vector<double>& d23,
+                              const std::vector<double>& d13) {
+  OTGED_CHECK(d12.size() == d23.size() && d23.size() == d13.size());
+  if (d12.empty()) return 1.0;
+  int ok = 0;
+  for (size_t i = 0; i < d12.size(); ++i)
+    if (d13[i] <= d12[i] + d23[i] + 1e-9) ++ok;
+  return static_cast<double>(ok) / d12.size();
+}
+
+}  // namespace otged

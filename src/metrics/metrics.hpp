@@ -1,0 +1,56 @@
+/// \file metrics.hpp
+/// \brief Evaluation metrics from Section 6.3 of the paper: value metrics
+/// (MAE, accuracy, feasibility), ranking metrics (Spearman rho, Kendall
+/// tau, precision@k), and path metrics (recall / precision / F1).
+#ifndef OTGED_METRICS_METRICS_HPP_
+#define OTGED_METRICS_METRICS_HPP_
+
+#include <vector>
+
+#include "editpath/edit_path.hpp"
+
+namespace otged {
+
+/// Mean absolute error between predictions and ground truths.
+double MeanAbsoluteError(const std::vector<double>& pred,
+                         const std::vector<int>& gt);
+
+/// Fraction of predictions equal to the ground truth after rounding to
+/// the nearest integer.
+double Accuracy(const std::vector<double>& pred, const std::vector<int>& gt);
+
+/// Fraction of predictions that are >= the ground truth (after rounding),
+/// i.e., lengths for which a feasible edit path exists.
+double Feasibility(const std::vector<double>& pred,
+                   const std::vector<int>& gt);
+
+/// Spearman's rank correlation coefficient (average ranks for ties).
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Kendall's tau-b (tie-corrected).
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Precision at k: |top-k(pred) ∩ top-k(gt)| / k, where "top" means the
+/// k smallest values (most similar graphs). Ties are broken by index.
+double PrecisionAtK(const std::vector<double>& pred,
+                    const std::vector<int>& gt, int k);
+
+/// Path quality (paper Eq. for Recall/Precision/F1): multiset overlap of
+/// canonical edit operations.
+struct PathQuality {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+PathQuality EvaluatePath(const std::vector<EditOp>& predicted,
+                         const std::vector<EditOp>& ground_truth);
+
+/// Fraction of sampled triples satisfying the triangle inequality
+/// d(1,3) <= d(1,2) + d(2,3) under the given prediction values.
+double TriangleInequalityRate(const std::vector<double>& d12,
+                              const std::vector<double>& d23,
+                              const std::vector<double>& d13);
+
+}  // namespace otged
+
+#endif  // OTGED_METRICS_METRICS_HPP_

@@ -1,0 +1,83 @@
+#include "models/embedding_trunk.hpp"
+
+#include <cmath>
+
+namespace otged {
+
+Matrix NormalizedAdjacency(const Graph& g) {
+  const int n = g.NumNodes();
+  Matrix a = g.AdjacencyMatrix();
+  for (int i = 0; i < n; ++i) a(i, i) = 1.0;  // self loops
+  std::vector<double> dinv(n);
+  for (int i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < n; ++j) deg += a(i, j);
+    dinv[i] = 1.0 / std::sqrt(deg);
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a(i, j) *= dinv[i] * dinv[j];
+  return a;
+}
+
+Matrix NodeInputFeatures(const Graph& g, const TrunkConfig& config) {
+  Matrix x = g.OneHotLabels(config.num_labels);
+  if (!config.degree_features) return x;
+  Matrix deg(g.NumNodes(), kDegreeBuckets, 0.0);
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    int bucket = 0;
+    for (int d = g.Degree(v); d > 0 && bucket < kDegreeBuckets - 1; d >>= 1)
+      ++bucket;  // bucket = floor(log2(deg)) + 1, clamped
+    deg(v, bucket) = 1.0;
+  }
+  return x.ConcatCols(deg);
+}
+
+EmbeddingTrunk::EmbeddingTrunk(const TrunkConfig& config, Rng* rng)
+    : config_(config) {
+  int in = config.num_labels +
+           (config.degree_features ? kDegreeBuckets : 0);
+  for (int out : config.conv_dims) {
+    if (config.use_gcn) {
+      gcn_layers_.emplace_back(in, out, rng);
+    } else {
+      gin_layers_.emplace_back(in, out, rng);
+    }
+    in = out;
+  }
+  if (config.use_final_mlp) {
+    // Concatenation of the input features and every conv layer's output.
+    int concat_dim = config.num_labels +
+                     (config.degree_features ? kDegreeBuckets : 0);
+    for (int d : config.conv_dims) concat_dim += d;
+    final_mlp_ = Mlp({concat_dim, 2 * config.out_dim, config.out_dim}, rng);
+  }
+}
+
+int EmbeddingTrunk::OutDim() const {
+  return config_.use_final_mlp ? config_.out_dim : config_.conv_dims.back();
+}
+
+Tensor EmbeddingTrunk::Embed(const Graph& g) const {
+  Tensor x(NodeInputFeatures(g, config_));
+  Tensor adj(config_.use_gcn ? NormalizedAdjacency(g) : g.AdjacencyMatrix());
+
+  Tensor h = x;
+  Tensor concat = x;
+  const size_t n_layers =
+      config_.use_gcn ? gcn_layers_.size() : gin_layers_.size();
+  for (size_t i = 0; i < n_layers; ++i) {
+    h = config_.use_gcn ? gcn_layers_[i].Forward(h, adj)
+                        : gin_layers_[i].Forward(h, adj);
+    concat = ConcatCols(concat, h);
+  }
+  if (!config_.use_final_mlp) return h;
+  return final_mlp_.Forward(concat);
+}
+
+void EmbeddingTrunk::CollectParams(std::vector<Tensor>* out) {
+  for (GinLayer& l : gin_layers_) l.CollectParams(out);
+  for (GcnLayer& l : gcn_layers_) l.CollectParams(out);
+  if (config_.use_final_mlp) final_mlp_.CollectParams(out);
+}
+
+}  // namespace otged

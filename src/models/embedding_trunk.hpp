@@ -1,0 +1,62 @@
+/// \file embedding_trunk.hpp
+/// \brief The siamese node-embedding component shared by all learned
+/// models (Section 4.1): stacked GIN (or GCN) layers, cross-layer
+/// concatenation, and a final MLP producing d-dimensional embeddings.
+#ifndef OTGED_MODELS_EMBEDDING_TRUNK_HPP_
+#define OTGED_MODELS_EMBEDDING_TRUNK_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nn/modules.hpp"
+
+namespace otged {
+
+/// Configuration of the embedding trunk. Dimensions are scaled-down but
+/// faithful analogues of the paper's 128/64/32 GIN stack with d = 32
+/// (see DESIGN.md §3, substitution 5).
+struct TrunkConfig {
+  int num_labels = 1;
+  std::vector<int> conv_dims = {32, 32, 32};
+  int out_dim = 16;            ///< final embedding dimension d
+  bool use_gcn = false;        ///< ablation "w/ GCN"
+  bool use_final_mlp = true;   ///< ablation "w/o MLP"
+  /// Append a log-degree-bucket one-hot to the input features. For
+  /// unlabeled datasets (num_labels == 1) this is the only signal that
+  /// breaks the constant-feature symmetry before the first convolution.
+  bool degree_features = true;
+};
+
+/// Number of log-degree buckets appended when degree_features is on.
+inline constexpr int kDegreeBuckets = 8;
+
+/// Input features: one-hot labels, optionally concatenated with the
+/// log2-degree bucket one-hot.
+Matrix NodeInputFeatures(const Graph& g, const TrunkConfig& config);
+
+/// Siamese GNN trunk: Embed() maps a graph to its n x d embedding matrix.
+class EmbeddingTrunk {
+ public:
+  EmbeddingTrunk() = default;
+  EmbeddingTrunk(const TrunkConfig& config, Rng* rng);
+
+  /// Node embeddings H (n x OutDim()).
+  Tensor Embed(const Graph& g) const;
+  /// Dimension of Embed()'s output (depends on the MLP ablation).
+  int OutDim() const;
+  void CollectParams(std::vector<Tensor>* out);
+  const TrunkConfig& config() const { return config_; }
+
+ private:
+  TrunkConfig config_;
+  std::vector<GinLayer> gin_layers_;
+  std::vector<GcnLayer> gcn_layers_;
+  Mlp final_mlp_;
+};
+
+/// Symmetric-normalized adjacency with self-loops, D^-1/2 (A+I) D^-1/2.
+Matrix NormalizedAdjacency(const Graph& g);
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_EMBEDDING_TRUNK_HPP_

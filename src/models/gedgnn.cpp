@@ -1,0 +1,67 @@
+#include "models/gedgnn.hpp"
+
+namespace otged {
+
+GedgnnModel::GedgnnModel(const GedgnnConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  trunk_ = EmbeddingTrunk(config.trunk, &rng);
+  const int d = trunk_.OutDim();
+  w_match_ = Tensor(GlorotInit(d, d, &rng), /*requires_grad=*/true);
+  w_cost_ = Tensor(GlorotInit(d, d, &rng), /*requires_grad=*/true);
+  pooling_ = AttentionPooling(d, &rng);
+  ntn_ = Ntn(d, config.ntn_slices, &rng);
+  readout_ = Mlp({config.ntn_slices, config.ntn_slices / 2, 1}, &rng);
+}
+
+std::vector<Tensor> GedgnnModel::Params() {
+  std::vector<Tensor> out;
+  trunk_.CollectParams(&out);
+  out.push_back(w_match_);
+  out.push_back(w_cost_);
+  pooling_.CollectParams(&out);
+  ntn_.CollectParams(&out);
+  readout_.CollectParams(&out);
+  return out;
+}
+
+GedgnnModel::Forward GedgnnModel::Run(const Graph& g1,
+                                      const Graph& g2) const {
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  Tensor h1 = trunk_.Embed(g1);
+  Tensor h2 = trunk_.Embed(g2);
+
+  Forward fwd;
+  // Direct pairwise-scoring fit of the matching matrix (no OT module).
+  fwd.matching = Sigmoid(MatMul(MatMul(h1, w_match_), Transpose(h2)));
+  fwd.cost = TanhT(MatMul(MatMul(h1, w_cost_), Transpose(h2)));
+  // Same head normalization as GEDIOT (see gediot.cpp).
+  Tensor w1 = ScaleConst(Dot(fwd.cost, fwd.matching),
+                         4.0 / MaxEditOps(g1, g2));
+  Tensor hg1 = pooling_.Forward(h1);
+  Tensor hg2 = pooling_.Forward(h2);
+  Tensor w2 = readout_.Forward(ntn_.Forward(hg1, hg2));
+  fwd.score = Sigmoid(Add(w1, w2));
+  return fwd;
+}
+
+Tensor GedgnnModel::Loss(const GedPair& pair) {
+  Forward fwd = Run(pair.g1, pair.g2);
+  double norm_ged =
+      static_cast<double>(pair.ged) / MaxEditOps(pair.g1, pair.g2);
+  Tensor value_loss = MseLoss(fwd.score, norm_ged);
+  Matrix pi_star =
+      CouplingMatrixFromMatching(pair.gt_matching, pair.g2.NumNodes());
+  Tensor match_loss = BceLoss(fwd.matching, pi_star);
+  return Add(ScaleConst(value_loss, config_.lambda),
+             ScaleConst(match_loss, 1.0 - config_.lambda));
+}
+
+Prediction GedgnnModel::Predict(const Graph& g1, const Graph& g2) {
+  Forward fwd = Run(g1, g2);
+  Prediction p;
+  p.ged = fwd.score.item() * MaxEditOps(g1, g2);
+  p.coupling = fwd.matching.value();
+  return p;
+}
+
+}  // namespace otged

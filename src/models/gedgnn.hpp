@@ -1,0 +1,50 @@
+/// \file gedgnn.hpp
+/// \brief GEDGNN-style baseline [35]: identical embedding trunk and graph
+/// discrepancy component as GEDIOT, but the node-matching matrix is
+/// produced by a *direct* bilinear sigmoid fit (no OT layer) — exactly
+/// the contrast the paper draws in Fig. 2(b) vs 2(c).
+#ifndef OTGED_MODELS_GEDGNN_HPP_
+#define OTGED_MODELS_GEDGNN_HPP_
+
+#include <string>
+
+#include "models/embedding_trunk.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+struct GedgnnConfig {
+  TrunkConfig trunk;
+  int ntn_slices = 8;
+  double lambda = 0.8;
+  uint64_t seed = 13;
+};
+
+class GedgnnModel : public TrainableGedModel {
+ public:
+  explicit GedgnnModel(const GedgnnConfig& config);
+
+  std::string Name() const override { return "GEDGNN"; }
+  std::vector<Tensor> Params() override;
+  Tensor Loss(const GedPair& pair) override;
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  struct Forward {
+    Tensor matching;  ///< n1 x n2 sigmoid matching matrix (fit to pi*)
+    Tensor cost;      ///< n1 x n2 cost matrix
+    Tensor score;     ///< 1x1 normalized GED
+  };
+  Forward Run(const Graph& g1, const Graph& g2) const;
+
+ private:
+  GedgnnConfig config_;
+  EmbeddingTrunk trunk_;
+  Tensor w_match_, w_cost_;  // d x d bilinear maps
+  AttentionPooling pooling_;
+  Ntn ntn_;
+  Mlp readout_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_GEDGNN_HPP_

@@ -1,0 +1,37 @@
+/// \file gedgw.hpp
+/// \brief GEDGW: the paper's unsupervised method (Section 5). GED
+/// computation is cast as a fused OT + Gromov-Wasserstein optimization
+/// over couplings of the dummy-node-padded pair (Eq. 17) and solved by
+/// conditional gradient (Algorithm 2). No training required.
+#ifndef OTGED_MODELS_GEDGW_HPP_
+#define OTGED_MODELS_GEDGW_HPP_
+
+#include <string>
+
+#include "models/model.hpp"
+#include "ot/gromov.hpp"
+
+namespace otged {
+
+struct GedgwConfig {
+  int cg_iters = 30;
+};
+
+class GedgwSolver : public GedModel {
+ public:
+  explicit GedgwSolver(const GedgwConfig& config = {}) : config_(config) {}
+
+  std::string Name() const override { return "GEDGW"; }
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  /// The node-edit cost matrix M of Eq. (16) on the padded pair: 1 where
+  /// labels differ (relabel) or the G1 node is a dummy (insertion).
+  static Matrix NodeCostMatrix(const Graph& g1, const Graph& g2);
+
+ private:
+  GedgwConfig config_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_GEDGW_HPP_

@@ -1,0 +1,45 @@
+#include "models/gedhot.hpp"
+
+namespace otged {
+
+Prediction GedhotModel::Predict(const Graph& g1, const Graph& g2) {
+  Prediction a = iot_->Predict(g1, g2);
+  Prediction b = gw_->Predict(g1, g2);
+  ++value_total_;
+  // GED is a minimum over edit paths, so the smaller estimate is kept
+  // (ties go to GEDIOT, the paper's default).
+  if (a.ged <= b.ged) {
+    ++value_iot_;
+    return a;
+  }
+  return b;
+}
+
+GepResult GedhotModel::GeneratePath(const Graph& g1, const Graph& g2, int k) {
+  Prediction a = iot_->Predict(g1, g2);
+  Prediction b = gw_->Predict(g1, g2);
+  GepResult pa = KBestGepSearch(g1, g2, a.coupling, k);
+  GepResult pb = KBestGepSearch(g1, g2, b.coupling, k);
+  ++path_total_;
+  if (pa.ged <= pb.ged) {
+    ++path_iot_;
+    return pa;
+  }
+  return pb;
+}
+
+double GedhotModel::ValueAdoptionIot() const {
+  return value_total_ == 0 ? 0.0
+                           : static_cast<double>(value_iot_) / value_total_;
+}
+
+double GedhotModel::PathAdoptionIot() const {
+  return path_total_ == 0 ? 0.0
+                          : static_cast<double>(path_iot_) / path_total_;
+}
+
+void GedhotModel::ResetStats() {
+  value_total_ = value_iot_ = path_total_ = path_iot_ = 0;
+}
+
+}  // namespace otged

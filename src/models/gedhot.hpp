@@ -1,0 +1,43 @@
+/// \file gedhot.hpp
+/// \brief GEDHOT: the paper's ensemble (Section 5.2) — run both GEDIOT
+/// and GEDGW; take the smaller GED estimate and, for edit paths, the
+/// shorter of the two k-best-matching paths. Tracks which member's
+/// result was adopted (Fig. 13).
+#ifndef OTGED_MODELS_GEDHOT_HPP_
+#define OTGED_MODELS_GEDHOT_HPP_
+
+#include <string>
+
+#include "assignment/kbest.hpp"
+#include "models/gediot.hpp"
+#include "models/gedgw.hpp"
+
+namespace otged {
+
+class GedhotModel : public GedModel {
+ public:
+  /// Does not take ownership; both members must outlive the ensemble.
+  GedhotModel(GediotModel* iot, GedgwSolver* gw) : iot_(iot), gw_(gw) {}
+
+  std::string Name() const override { return "GEDHOT"; }
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  /// Edit-path ensemble: k-best search from both couplings, shorter wins.
+  GepResult GeneratePath(const Graph& g1, const Graph& g2, int k);
+
+  /// Adoption statistics (Fig. 13): fraction of calls where GEDIOT's
+  /// result was used.
+  double ValueAdoptionIot() const;
+  double PathAdoptionIot() const;
+  void ResetStats();
+
+ private:
+  GediotModel* iot_;
+  GedgwSolver* gw_;
+  long value_total_ = 0, value_iot_ = 0;
+  long path_total_ = 0, path_iot_ = 0;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_GEDHOT_HPP_

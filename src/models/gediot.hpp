@@ -1,0 +1,63 @@
+/// \file gediot.hpp
+/// \brief GEDIOT: the paper's supervised model based on inverse optimal
+/// transport (Section 4). Node embeddings -> learnable cost matrix ->
+/// learnable Sinkhorn layer -> coupling matrix + transport cost w1;
+/// a graph discrepancy component (attention pooling + NTN) supplies w2;
+/// GED = sigmoid(w1 + w2) * (max(n1,n2) + max(m1,m2)).
+#ifndef OTGED_MODELS_GEDIOT_HPP_
+#define OTGED_MODELS_GEDIOT_HPP_
+
+#include <string>
+
+#include "models/embedding_trunk.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+/// Hyperparameters (paper Appendix F.2, scaled for CPU training).
+struct GediotConfig {
+  TrunkConfig trunk;
+  int ntn_slices = 8;        ///< L (paper: 16)
+  double lambda = 0.8;       ///< value/matching loss balance (Eq. 15)
+  double eps0 = 0.05;        ///< initial Sinkhorn regularization
+  int sinkhorn_iters = 5;    ///< unrolled dual updates
+  bool learnable_eps = true; ///< ablation "w/o learnable eps"
+  bool cost_inner_product = false;  ///< ablation "w/o Cost"
+  uint64_t seed = 11;
+};
+
+/// The GEDIOT network. Forward pieces are exposed so ablation benches and
+/// tests can inspect intermediate tensors.
+class GediotModel : public TrainableGedModel {
+ public:
+  explicit GediotModel(const GediotConfig& config);
+
+  std::string Name() const override { return "GEDIOT"; }
+  std::vector<Tensor> Params() override;
+  Tensor Loss(const GedPair& pair) override;
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  /// Intermediate results of one forward pass.
+  struct Forward {
+    Tensor coupling;  ///< n1 x n2 (dummy row removed)
+    Tensor cost;      ///< n1 x n2 learned cost matrix
+    Tensor score;     ///< 1x1, normalized GED in (0, 1)
+  };
+  Forward Run(const Graph& g1, const Graph& g2) const;
+
+  double CurrentEpsilon() const { return sinkhorn_.CurrentEpsilon(); }
+  const GediotConfig& config() const { return config_; }
+
+ private:
+  GediotConfig config_;
+  EmbeddingTrunk trunk_;
+  CostMatrixLayer cost_layer_;
+  SinkhornLayer sinkhorn_;
+  AttentionPooling pooling_;
+  Ntn ntn_;
+  Mlp readout_;  ///< reduces the NTN vector to the scalar w2
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_GEDIOT_HPP_

@@ -1,0 +1,45 @@
+#include "models/gpn.hpp"
+
+namespace otged {
+
+GpnModel::GpnModel(const GpnConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  trunk_ = EmbeddingTrunk(config.trunk, &rng);
+  const int d = trunk_.OutDim();
+  pooling_ = AttentionPooling(d, &rng);
+  readout_ = Mlp({2 * d, d, 1}, &rng);
+}
+
+std::vector<Tensor> GpnModel::Params() {
+  std::vector<Tensor> out;
+  trunk_.CollectParams(&out);
+  pooling_.CollectParams(&out);
+  readout_.CollectParams(&out);
+  return out;
+}
+
+Tensor GpnModel::Score(const Graph& g1, const Graph& g2) const {
+  Tensor hg1 = pooling_.Forward(trunk_.Embed(g1));
+  Tensor hg2 = pooling_.Forward(trunk_.Embed(g2));
+  return Sigmoid(readout_.Forward(ConcatCols(hg1, hg2)));
+}
+
+Tensor GpnModel::Loss(const GedPair& pair) {
+  double norm_ged =
+      static_cast<double>(pair.ged) / MaxEditOps(pair.g1, pair.g2);
+  return MseLoss(Score(pair.g1, pair.g2), norm_ged);
+}
+
+Prediction GpnModel::Predict(const Graph& g1, const Graph& g2) {
+  Prediction p;
+  p.ged = Score(g1, g2).item() * MaxEditOps(g1, g2);
+  return p;
+}
+
+Matrix GpnModel::NodeSimilarity(const Graph& g1, const Graph& g2) const {
+  Tensor h1 = trunk_.Embed(g1);
+  Tensor h2 = trunk_.Embed(g2);
+  return h1.value().MatMul(h2.value().Transpose());
+}
+
+}  // namespace otged

@@ -1,0 +1,44 @@
+/// \file gpn.hpp
+/// \brief GPN-style baseline [62]: a plain graph-level regressor (pooled
+/// embeddings + MLP). Also serves as the learned guidance for the Noah
+/// stand-in (GPN + A*-beam): NodeSimilarity() exposes the cross-graph
+/// embedding affinity used to order beam expansions.
+#ifndef OTGED_MODELS_GPN_HPP_
+#define OTGED_MODELS_GPN_HPP_
+
+#include <string>
+
+#include "models/embedding_trunk.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+struct GpnConfig {
+  TrunkConfig trunk;
+  uint64_t seed = 19;
+};
+
+class GpnModel : public TrainableGedModel {
+ public:
+  explicit GpnModel(const GpnConfig& config);
+
+  std::string Name() const override { return "GPN"; }
+  std::vector<Tensor> Params() override;
+  Tensor Loss(const GedPair& pair) override;
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  /// n1 x n2 embedding affinity H1 H2^T (beam-search guidance).
+  Matrix NodeSimilarity(const Graph& g1, const Graph& g2) const;
+
+ private:
+  Tensor Score(const Graph& g1, const Graph& g2) const;
+
+  GpnConfig config_;
+  EmbeddingTrunk trunk_;
+  AttentionPooling pooling_;
+  Mlp readout_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_GPN_HPP_

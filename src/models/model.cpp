@@ -1,0 +1,12 @@
+#include "models/model.hpp"
+
+namespace otged {
+
+Prediction PredictOrdered(GedModel* model, const Graph& g1, const Graph& g2) {
+  if (g1.NumNodes() <= g2.NumNodes()) return model->Predict(g1, g2);
+  Prediction p = model->Predict(g2, g1);
+  if (!p.coupling.empty()) p.coupling = p.coupling.Transpose();
+  return p;
+}
+
+}  // namespace otged

@@ -1,0 +1,46 @@
+/// \file model.hpp
+/// \brief Common interfaces for GED estimators: classical, optimization-
+/// based and learned models all expose Predict(); trainable models
+/// additionally expose parameters and a per-pair loss.
+#ifndef OTGED_MODELS_MODEL_HPP_
+#define OTGED_MODELS_MODEL_HPP_
+
+#include <string>
+#include <vector>
+
+#include "graph/generator.hpp"
+#include "nn/tensor.hpp"
+
+namespace otged {
+
+/// A GED prediction: the continuous estimate plus (when the method
+/// produces one) a soft coupling matrix usable for edit-path generation.
+struct Prediction {
+  double ged = 0.0;    ///< continuous GED estimate
+  Matrix coupling;     ///< n1 x n2 node-matching confidence (may be empty)
+};
+
+/// Base interface. All models assume g1.NumNodes() <= g2.NumNodes()
+/// (callers swap; the library's pair generators guarantee it).
+class GedModel {
+ public:
+  virtual ~GedModel() = default;
+  virtual std::string Name() const = 0;
+  virtual Prediction Predict(const Graph& g1, const Graph& g2) = 0;
+};
+
+/// Learned models: parameters + per-pair training loss (built on the
+/// autograd tape; call Backward() on it).
+class TrainableGedModel : public GedModel {
+ public:
+  virtual std::vector<Tensor> Params() = 0;
+  virtual Tensor Loss(const GedPair& pair) = 0;
+};
+
+/// Swap-safe wrapper: orders the pair by size, predicts, and transposes
+/// the coupling back if a swap happened.
+Prediction PredictOrdered(GedModel* model, const Graph& g1, const Graph& g2);
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_MODEL_HPP_

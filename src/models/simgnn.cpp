@@ -1,0 +1,41 @@
+#include "models/simgnn.hpp"
+
+namespace otged {
+
+SimgnnModel::SimgnnModel(const SimgnnConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  trunk_ = EmbeddingTrunk(config.trunk, &rng);
+  const int d = trunk_.OutDim();
+  pooling_ = AttentionPooling(d, &rng);
+  ntn_ = Ntn(d, config.ntn_slices, &rng);
+  readout_ = Mlp({config.ntn_slices, config.ntn_slices / 2, 1}, &rng);
+}
+
+std::vector<Tensor> SimgnnModel::Params() {
+  std::vector<Tensor> out;
+  trunk_.CollectParams(&out);
+  pooling_.CollectParams(&out);
+  ntn_.CollectParams(&out);
+  readout_.CollectParams(&out);
+  return out;
+}
+
+Tensor SimgnnModel::Score(const Graph& g1, const Graph& g2) const {
+  Tensor hg1 = pooling_.Forward(trunk_.Embed(g1));
+  Tensor hg2 = pooling_.Forward(trunk_.Embed(g2));
+  return Sigmoid(readout_.Forward(ntn_.Forward(hg1, hg2)));
+}
+
+Tensor SimgnnModel::Loss(const GedPair& pair) {
+  double norm_ged =
+      static_cast<double>(pair.ged) / MaxEditOps(pair.g1, pair.g2);
+  return MseLoss(Score(pair.g1, pair.g2), norm_ged);
+}
+
+Prediction SimgnnModel::Predict(const Graph& g1, const Graph& g2) {
+  Prediction p;
+  p.ged = Score(g1, g2).item() * MaxEditOps(g1, g2);
+  return p;
+}
+
+}  // namespace otged

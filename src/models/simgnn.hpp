@@ -1,0 +1,43 @@
+/// \file simgnn.hpp
+/// \brief SimGNN-style baseline [2]: graph-level regression only — GNN
+/// embeddings, attention pooling, NTN interaction, MLP readout. No node
+/// matching is produced, so it supports GED computation but not GEP
+/// generation (as in the paper's tables).
+#ifndef OTGED_MODELS_SIMGNN_HPP_
+#define OTGED_MODELS_SIMGNN_HPP_
+
+#include <string>
+
+#include "models/embedding_trunk.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+struct SimgnnConfig {
+  TrunkConfig trunk;
+  int ntn_slices = 8;
+  uint64_t seed = 17;
+};
+
+class SimgnnModel : public TrainableGedModel {
+ public:
+  explicit SimgnnModel(const SimgnnConfig& config);
+
+  std::string Name() const override { return "SimGNN"; }
+  std::vector<Tensor> Params() override;
+  Tensor Loss(const GedPair& pair) override;
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+ private:
+  Tensor Score(const Graph& g1, const Graph& g2) const;
+
+  SimgnnConfig config_;
+  EmbeddingTrunk trunk_;
+  AttentionPooling pooling_;
+  Ntn ntn_;
+  Mlp readout_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_SIMGNN_HPP_

@@ -1,0 +1,79 @@
+#include "models/tagsim.hpp"
+
+#include <algorithm>
+
+namespace otged {
+
+TagsimModel::TagsimModel(const TagsimConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  trunk_ = EmbeddingTrunk(config.trunk, &rng);
+  const int d = trunk_.OutDim();
+  pooling_ = AttentionPooling(d, &rng);
+  readout_ = Mlp({2 * d, d, 4}, &rng);
+}
+
+std::vector<Tensor> TagsimModel::Params() {
+  std::vector<Tensor> out;
+  trunk_.CollectParams(&out);
+  pooling_.CollectParams(&out);
+  readout_.CollectParams(&out);
+  return out;
+}
+
+std::array<int, 4> TagsimModel::TypeCounts(const std::vector<EditOp>& path) {
+  std::array<int, 4> counts = {0, 0, 0, 0};
+  for (const EditOp& op : path) {
+    switch (op.type) {
+      case EditOpType::kRelabelNode:
+        counts[0]++;
+        break;
+      case EditOpType::kInsertNode:
+      case EditOpType::kDeleteNode:
+        counts[1]++;
+        break;
+      case EditOpType::kInsertEdge:
+        counts[2]++;
+        break;
+      case EditOpType::kDeleteEdge:
+        counts[3]++;
+        break;
+    }
+  }
+  return counts;
+}
+
+std::array<double, 4> TagsimModel::TypeNormalizers(const Graph& g1,
+                                                   const Graph& g2) {
+  double nmax = std::max(g1.NumNodes(), g2.NumNodes());
+  double emax = std::max(g1.NumEdges(), g2.NumEdges()) + 1.0;
+  return {nmax, nmax, emax, emax};
+}
+
+Tensor TagsimModel::TypeScores(const Graph& g1, const Graph& g2) const {
+  Tensor hg1 = pooling_.Forward(trunk_.Embed(g1));
+  Tensor hg2 = pooling_.Forward(trunk_.Embed(g2));
+  return Sigmoid(readout_.Forward(ConcatCols(hg1, hg2)));  // 1 x 4
+}
+
+Tensor TagsimModel::Loss(const GedPair& pair) {
+  Tensor scores = TypeScores(pair.g1, pair.g2);
+  std::array<int, 4> counts = TypeCounts(pair.gt_path);
+  std::array<double, 4> norm = TypeNormalizers(pair.g1, pair.g2);
+  Matrix target(1, 4);
+  for (int t = 0; t < 4; ++t)
+    target(0, t) = std::min(1.0, counts[t] / norm[t]);
+  // Mean squared error across the four normalized type counts.
+  Tensor diff = Sub(scores, Tensor(target));
+  return ScaleConst(Dot(diff, diff), 0.25);
+}
+
+Prediction TagsimModel::Predict(const Graph& g1, const Graph& g2) {
+  Tensor scores = TypeScores(g1, g2);
+  std::array<double, 4> norm = TypeNormalizers(g1, g2);
+  Prediction p;
+  p.ged = 0.0;
+  for (int t = 0; t < 4; ++t) p.ged += scores.value()(0, t) * norm[t];
+  return p;
+}
+
+}  // namespace otged

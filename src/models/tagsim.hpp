@@ -1,0 +1,49 @@
+/// \file tagsim.hpp
+/// \brief TaGSim-style baseline [1]: type-aware similarity — instead of a
+/// single GED scalar, the model regresses the number of edit operations
+/// in each of four categories (node relabel, node insert/delete, edge
+/// insert, edge delete); the GED estimate is their sum.
+#ifndef OTGED_MODELS_TAGSIM_HPP_
+#define OTGED_MODELS_TAGSIM_HPP_
+
+#include <array>
+#include <string>
+
+#include "models/embedding_trunk.hpp"
+#include "models/model.hpp"
+
+namespace otged {
+
+struct TagsimConfig {
+  TrunkConfig trunk;
+  uint64_t seed = 23;
+};
+
+class TagsimModel : public TrainableGedModel {
+ public:
+  explicit TagsimModel(const TagsimConfig& config);
+
+  std::string Name() const override { return "TaGSim"; }
+  std::vector<Tensor> Params() override;
+  Tensor Loss(const GedPair& pair) override;
+  Prediction Predict(const Graph& g1, const Graph& g2) override;
+
+  /// Ground-truth per-type counts of a canonical edit path:
+  /// {relabel, node ins/del, edge insert, edge delete}.
+  static std::array<int, 4> TypeCounts(const std::vector<EditOp>& path);
+
+ private:
+  /// 1 x 4 sigmoid outputs (normalized per-type counts).
+  Tensor TypeScores(const Graph& g1, const Graph& g2) const;
+  static std::array<double, 4> TypeNormalizers(const Graph& g1,
+                                               const Graph& g2);
+
+  TagsimConfig config_;
+  EmbeddingTrunk trunk_;
+  AttentionPooling pooling_;
+  Mlp readout_;  ///< 2d -> ... -> 4
+};
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_TAGSIM_HPP_

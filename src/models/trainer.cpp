@@ -1,0 +1,50 @@
+#include "models/trainer.hpp"
+
+#include <cstdio>
+
+#include "core/random.hpp"
+#include "nn/adam.hpp"
+
+namespace otged {
+
+std::vector<double> TrainModel(TrainableGedModel* model,
+                               const std::vector<GedPair>& pairs,
+                               const TrainOptions& opt) {
+  OTGED_CHECK(!pairs.empty());
+  Adam::Options aopt;
+  aopt.lr = opt.lr;
+  aopt.weight_decay = opt.weight_decay;
+  Adam optimizer(model->Params(), aopt);
+  Rng rng(opt.seed);
+
+  std::vector<int> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    size_t i = 0;
+    while (i < order.size()) {
+      size_t batch_end = std::min(order.size(), i + opt.batch_size);
+      const double scale = 1.0 / static_cast<double>(batch_end - i);
+      optimizer.ZeroGrad();
+      for (; i < batch_end; ++i) {
+        Tensor loss = model->Loss(pairs[order[i]]);
+        total += loss.item();
+        ScaleConst(loss, scale).Backward();
+      }
+      if (opt.grad_clip > 0) optimizer.ClipGradients(opt.grad_clip);
+      optimizer.Step();
+    }
+    epoch_losses.push_back(total / pairs.size());
+    if (opt.verbose) {
+      std::fprintf(stderr, "[train] %s epoch %d/%d loss %.5f\n",
+                   model->Name().c_str(), epoch + 1, opt.epochs,
+                   epoch_losses.back());
+    }
+  }
+  return epoch_losses;
+}
+
+}  // namespace otged

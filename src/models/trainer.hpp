@@ -1,0 +1,30 @@
+/// \file trainer.hpp
+/// \brief Generic mini-batch training loop (Adam, gradient clipping,
+/// shuffled epochs) shared by all learned models.
+#ifndef OTGED_MODELS_TRAINER_HPP_
+#define OTGED_MODELS_TRAINER_HPP_
+
+#include <vector>
+
+#include "models/model.hpp"
+
+namespace otged {
+
+struct TrainOptions {
+  int epochs = 10;
+  int batch_size = 32;
+  double lr = 1e-3;
+  double weight_decay = 5e-4;
+  double grad_clip = 5.0;
+  uint64_t seed = 123;
+  bool verbose = false;
+};
+
+/// Trains `model` on `pairs`; returns the mean loss of each epoch.
+std::vector<double> TrainModel(TrainableGedModel* model,
+                               const std::vector<GedPair>& pairs,
+                               const TrainOptions& opt = {});
+
+}  // namespace otged
+
+#endif  // OTGED_MODELS_TRAINER_HPP_

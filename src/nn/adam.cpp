@@ -1,0 +1,52 @@
+#include "nn/adam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otged {
+
+Adam::Adam(std::vector<Tensor> params, const AdamOptions& opt)
+    : params_(std::move(params)), opt_(opt) {
+  for (const Tensor& p : params_) {
+    OTGED_CHECK(p.defined() && p.requires_grad());
+    m_.emplace_back(p.rows(), p.cols(), 0.0);
+    v_.emplace_back(p.rows(), p.cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opt_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(opt_.beta2, t_);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    if (p.grad().empty()) continue;  // parameter unused this step
+    Matrix& val = p.mutable_value();
+    const Matrix& g = p.grad();
+    for (int i = 0; i < val.size(); ++i) {
+      double grad = g[i] + opt_.weight_decay * val[i];
+      m_[k][i] = opt_.beta1 * m_[k][i] + (1.0 - opt_.beta1) * grad;
+      v_[k][i] = opt_.beta2 * v_[k][i] + (1.0 - opt_.beta2) * grad * grad;
+      double mhat = m_[k][i] / bc1;
+      double vhat = v_[k][i] / bc2;
+      val[i] -= opt_.lr * mhat / (std::sqrt(vhat) + opt_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Adam::ClipGradients(double clip) {
+  for (Tensor& p : params_) {
+    if (p.grad().empty()) continue;
+    // In-place clamp via const_cast-free path: copy, clamp, re-accumulate.
+    Matrix g = p.grad();
+    for (int i = 0; i < g.size(); ++i) g[i] = std::clamp(g[i], -clip, clip);
+    p.ZeroGrad();
+    p.node()->AccumulateGrad(g);
+  }
+}
+
+}  // namespace otged

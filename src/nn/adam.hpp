@@ -1,0 +1,50 @@
+/// \file adam.hpp
+/// \brief Adam optimizer with decoupled weight decay, operating on the
+/// parameter tensors collected from modules.
+#ifndef OTGED_NN_ADAM_HPP_
+#define OTGED_NN_ADAM_HPP_
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace otged {
+
+/// Hyperparameters for Adam, matching the paper's training setup
+/// (lr 1e-3, weight decay 5e-4).
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 5e-4;
+};
+
+/// Adam (Kingma & Ba) with optional weight decay.
+class Adam {
+ public:
+  /// Back-compat alias so call sites can say Adam::Options.
+  using Options = AdamOptions;
+
+  Adam(std::vector<Tensor> params, const AdamOptions& opt = AdamOptions());
+
+  /// Applies one update using the accumulated gradients, then leaves the
+  /// gradients in place (call ZeroGrad()).
+  void Step();
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+  /// Clips gradient entries to [-clip, clip] (training stability).
+  void ClipGradients(double clip);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Matrix> m_, v_;
+  AdamOptions opt_;
+  long t_ = 0;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_NN_ADAM_HPP_

@@ -1,0 +1,174 @@
+#include "nn/modules.hpp"
+
+#include <cmath>
+
+namespace otged {
+
+Matrix GlorotInit(int in, int out, Rng* rng) {
+  double bound = std::sqrt(6.0 / (in + out));
+  Matrix w(in, out);
+  for (int i = 0; i < w.size(); ++i) w[i] = rng->Uniform(-bound, bound);
+  return w;
+}
+
+// ---- Linear ---------------------------------------------------------------
+
+Linear::Linear(int in, int out, Rng* rng)
+    : weight(GlorotInit(in, out, rng), /*requires_grad=*/true),
+      bias(Matrix(1, out, 0.0), /*requires_grad=*/true) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  // Broadcast bias to every row via ones(n,1) * bias(1,out).
+  Tensor ones(Matrix::Ones(x.rows(), 1));
+  return Add(MatMul(x, weight), MatMul(ones, bias));
+}
+
+void Linear::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(weight);
+  out->push_back(bias);
+}
+
+// ---- Mlp ------------------------------------------------------------------
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
+  OTGED_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i)
+    layers.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    h = layers[i].Forward(h);
+    if (i + 1 < layers.size()) h = Relu(h);
+  }
+  return h;
+}
+
+void Mlp::CollectParams(std::vector<Tensor>* out) {
+  for (Linear& l : layers) l.CollectParams(out);
+}
+
+// ---- GinLayer -------------------------------------------------------------
+
+GinLayer::GinLayer(int in, int out, Rng* rng)
+    : delta(Matrix(1, 1, 0.0), /*requires_grad=*/true),
+      mlp({in, out, out}, rng) {}
+
+Tensor GinLayer::Forward(const Tensor& h, const Tensor& adj) const {
+  Tensor aggregated = Add(ScaleOnePlus(h, delta), MatMul(adj, h));
+  return Relu(mlp.Forward(aggregated));
+}
+
+void GinLayer::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(delta);
+  mlp.CollectParams(out);
+}
+
+// ---- GcnLayer -------------------------------------------------------------
+
+GcnLayer::GcnLayer(int in, int out, Rng* rng) : linear(in, out, rng) {}
+
+Tensor GcnLayer::Forward(const Tensor& h, const Tensor& norm_adj) const {
+  return Relu(linear.Forward(MatMul(norm_adj, h)));
+}
+
+void GcnLayer::CollectParams(std::vector<Tensor>* out) {
+  linear.CollectParams(out);
+}
+
+// ---- AttentionPooling -----------------------------------------------------
+
+AttentionPooling::AttentionPooling(int dim, Rng* rng)
+    : w1(GlorotInit(dim, dim, rng), /*requires_grad=*/true) {}
+
+Tensor AttentionPooling::Forward(const Tensor& h) const {
+  Tensor context = TanhT(MatMul(RowMean(h), w1));        // 1 x d
+  Tensor att = Sigmoid(MatMul(h, Transpose(context)));   // n x 1
+  return MatMul(Transpose(att), h);                      // 1 x d
+}
+
+void AttentionPooling::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(w1);
+}
+
+// ---- Ntn ------------------------------------------------------------------
+
+Ntn::Ntn(int dim, int slices, Rng* rng) {
+  for (int l = 0; l < slices; ++l)
+    w2.emplace_back(GlorotInit(dim, dim, rng), /*requires_grad=*/true);
+  w3 = Tensor(GlorotInit(2 * dim, slices, rng), /*requires_grad=*/true);
+  bias = Tensor(Matrix(1, slices, 0.0), /*requires_grad=*/true);
+}
+
+Tensor Ntn::Forward(const Tensor& hg1, const Tensor& hg2) const {
+  // Bilinear slices: s_l = hg1 W2_l hg2^T -> build a 1 x L row.
+  Tensor row;
+  for (size_t l = 0; l < w2.size(); ++l) {
+    Tensor s = MatMul(MatMul(hg1, w2[l]), Transpose(hg2));  // 1x1
+    row = l == 0 ? s : ConcatCols(row, s);
+  }
+  Tensor lin = MatMul(ConcatCols(hg1, hg2), w3);  // 1 x L
+  return Relu(Add(Add(row, lin), bias));
+}
+
+void Ntn::CollectParams(std::vector<Tensor>* out) {
+  for (Tensor& t : w2) out->push_back(t);
+  out->push_back(w3);
+  out->push_back(bias);
+}
+
+// ---- CostMatrixLayer ------------------------------------------------------
+
+CostMatrixLayer::CostMatrixLayer(int dim, Rng* rng)
+    : w(GlorotInit(dim, dim, rng), /*requires_grad=*/true) {}
+
+Tensor CostMatrixLayer::Forward(const Tensor& h1, const Tensor& h2,
+                                bool inner_product_only) const {
+  if (inner_product_only) return MatMul(h1, Transpose(h2));
+  return TanhT(MatMul(MatMul(h1, w), Transpose(h2)));
+}
+
+void CostMatrixLayer::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(w);
+}
+
+// ---- SinkhornLayer ---------------------------------------------------------
+
+SinkhornLayer::SinkhornLayer(double eps0, int iters_, bool learnable_)
+    : log_eps(Matrix(1, 1, std::log(eps0)), /*requires_grad=*/learnable_),
+      iters(iters_),
+      learnable(learnable_) {}
+
+Tensor SinkhornLayer::Forward(const Tensor& cost) const {
+  const int n1 = cost.rows(), n2 = cost.cols();
+  OTGED_CHECK(n1 <= n2);
+  // Dummy-row extension (Eq. 11): zero row, mass n2 - n1.
+  Tensor zero_row(Matrix(1, n2, 0.0));
+  Tensor ext = ConcatRows(cost, zero_row);  // (n1+1) x n2
+  Matrix mu_m = Matrix::ColVec(n1 + 1, 1.0);
+  mu_m(n1, 0) = static_cast<double>(n2 - n1);
+  Tensor mu(mu_m), nu(Matrix::ColVec(n2, 1.0));
+
+  Tensor kernel = KernelExp(ext, log_eps);
+  Tensor kernel_t = Transpose(kernel);
+  Tensor phi(Matrix::ColVec(n1 + 1, 1.0));
+  Tensor psi;
+  for (int m = 0; m < iters; ++m) {
+    psi = CwiseDiv(nu, MatMul(kernel_t, phi));
+    phi = CwiseDiv(mu, MatMul(kernel, psi));
+  }
+  // pi = diag(phi) K diag(psi) = K ∘ (phi psi^T); drop the dummy row.
+  Tensor pi = Hadamard(kernel, MatMul(phi, Transpose(psi)));
+  return SliceRows(pi, 0, n1);
+}
+
+void SinkhornLayer::CollectParams(std::vector<Tensor>* out) {
+  if (learnable) out->push_back(log_eps);
+}
+
+double SinkhornLayer::CurrentEpsilon() const {
+  return std::exp(log_eps.item());
+}
+
+}  // namespace otged

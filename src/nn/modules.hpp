@@ -1,0 +1,127 @@
+/// \file modules.hpp
+/// \brief Neural modules mirroring the paper's architecture (Section 4):
+/// GIN / GCN convolutions, MLP, attention graph pooling (Eq. 13), the
+/// neural tensor network (Eq. 14), the cost-matrix layer (Eq. 10), and
+/// the learnable Sinkhorn layer (Eq. 12).
+#ifndef OTGED_NN_MODULES_HPP_
+#define OTGED_NN_MODULES_HPP_
+
+#include <vector>
+
+#include "core/random.hpp"
+#include "nn/tensor.hpp"
+
+namespace otged {
+
+/// Dense layer y = x W + b (x: n x in, W: in x out, b broadcast per row).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in, int out, Rng* rng);
+  Tensor Forward(const Tensor& x) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  Tensor weight, bias;
+};
+
+/// Multi-layer perceptron with ReLU between layers (none after the last).
+class Mlp {
+ public:
+  Mlp() = default;
+  /// dims = {in, h1, ..., out}.
+  Mlp(const std::vector<int>& dims, Rng* rng);
+  Tensor Forward(const Tensor& x) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  std::vector<Linear> layers;
+};
+
+/// Graph Isomorphism Network layer (Eq. 8):
+///   h' = MLP((1 + delta) h + A h), delta trainable.
+class GinLayer {
+ public:
+  GinLayer() = default;
+  GinLayer(int in, int out, Rng* rng);
+  /// `adj` is the constant n x n adjacency tensor of the graph.
+  Tensor Forward(const Tensor& h, const Tensor& adj) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  Tensor delta;  // 1x1
+  Mlp mlp;       // two dense layers, ReLU inside
+};
+
+/// GCN layer (ablation "w/ GCN"): h' = ReLU(\hat{A} h W), where \hat{A}
+/// is the symmetric-normalized adjacency with self-loops (precomputed by
+/// the caller and passed as `norm_adj`).
+class GcnLayer {
+ public:
+  GcnLayer() = default;
+  GcnLayer(int in, int out, Rng* rng);
+  Tensor Forward(const Tensor& h, const Tensor& norm_adj) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  Linear linear;
+};
+
+/// Attention graph pooling (Eq. 13): global context c = tanh(mean(H) W1),
+/// weights a = sigmoid(H c^T), embedding h_G = a^T H (1 x d).
+class AttentionPooling {
+ public:
+  AttentionPooling() = default;
+  AttentionPooling(int dim, Rng* rng);
+  Tensor Forward(const Tensor& h) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  Tensor w1;  // d x d
+};
+
+/// Neural tensor network (Eq. 14): L bilinear slices + linear + bias,
+/// ReLU; inputs are 1 x d graph embeddings, output is 1 x L.
+class Ntn {
+ public:
+  Ntn() = default;
+  Ntn(int dim, int slices, Rng* rng);
+  Tensor Forward(const Tensor& hg1, const Tensor& hg2) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  std::vector<Tensor> w2;  // L slices of d x d
+  Tensor w3;               // 2d x L
+  Tensor bias;             // 1 x L
+};
+
+/// Cost-matrix layer (Eq. 10): C = tanh(H1 W H2^T) (n1 x n2).
+class CostMatrixLayer {
+ public:
+  CostMatrixLayer() = default;
+  CostMatrixLayer(int dim, Rng* rng);
+  /// `inner_product_only` drops W and tanh (the "w/o Cost" ablation).
+  Tensor Forward(const Tensor& h1, const Tensor& h2,
+                 bool inner_product_only = false) const;
+  void CollectParams(std::vector<Tensor>* out);
+
+  Tensor w;  // d x d
+};
+
+/// Learnable Sinkhorn layer (Section 4.2): unrolls `iters` dual updates of
+/// Algorithm 1 on the dummy-row-extended cost matrix; the regularization
+/// coefficient eps = exp(log_eps) is trainable unless frozen.
+class SinkhornLayer {
+ public:
+  SinkhornLayer() = default;
+  explicit SinkhornLayer(double eps0, int iters, bool learnable = true);
+  /// `cost` is n1 x n2 with n1 <= n2; returns the n1 x n2 coupling.
+  Tensor Forward(const Tensor& cost) const;
+  void CollectParams(std::vector<Tensor>* out);
+  double CurrentEpsilon() const;
+
+  Tensor log_eps;  // 1x1
+  int iters = 5;
+  bool learnable = true;
+};
+
+/// Xavier/Glorot-uniform initialized matrix.
+Matrix GlorotInit(int in, int out, Rng* rng);
+
+}  // namespace otged
+
+#endif  // OTGED_NN_MODULES_HPP_

@@ -1,0 +1,49 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace otged {
+
+namespace {
+constexpr uint64_t kMagic = 0x4F544745442E3031ull;  // "OTGED.01"
+}
+
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  uint64_t magic = kMagic;
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    int64_t r = p.rows(), c = p.cols();
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+    out.write(reinterpret_cast<const char*>(&c), sizeof(c));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(sizeof(double)) * r * c);
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(std::vector<Tensor>* params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic || count != params->size()) return false;
+  for (Tensor& p : *params) {
+    int64_t r = 0, c = 0;
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    in.read(reinterpret_cast<char*>(&c), sizeof(c));
+    if (!in || r != p.rows() || c != p.cols()) return false;
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(double)) * r * c);
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace otged

@@ -1,0 +1,25 @@
+/// \file serialize.hpp
+/// \brief Binary (de)serialization of parameter tensors, so trained models
+/// can be cached across example/benchmark runs.
+#ifndef OTGED_NN_SERIALIZE_HPP_
+#define OTGED_NN_SERIALIZE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace otged {
+
+/// Writes all parameter values (shapes + doubles) to `path`. Returns
+/// false on I/O failure.
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `params` (shapes must
+/// match exactly). Returns false on I/O failure or shape mismatch.
+bool LoadParameters(std::vector<Tensor>* params, const std::string& path);
+
+}  // namespace otged
+
+#endif  // OTGED_NN_SERIALIZE_HPP_

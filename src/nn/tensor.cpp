@@ -1,0 +1,325 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace otged {
+
+namespace internal {
+
+void TensorNode::AccumulateGrad(const Matrix& g) {
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    grad += g;
+  }
+}
+
+}  // namespace internal
+
+using internal::TensorNode;
+
+Tensor::Tensor(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<TensorNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+void Tensor::ZeroGrad() { node_->grad = Matrix(); }
+
+Tensor MakeOp(Matrix value, std::vector<Tensor> parents,
+              std::function<void(TensorNode&)> backward) {
+  Tensor t;
+  t.node_ = std::make_shared<TensorNode>();
+  t.node_->value = std::move(value);
+  t.node_->requires_grad = false;
+  for (const Tensor& p : parents) {
+    OTGED_CHECK(p.defined());
+    t.node_->parents.push_back(p.node());
+  }
+  t.node_->backward = std::move(backward);
+  return t;
+}
+
+void Tensor::Backward() {
+  OTGED_CHECK(rows() == 1 && cols() == 1);
+  // Reverse topological order via iterative DFS.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, i] = stack.back();
+    if (i < n->parents.size()) {
+      TensorNode* p = n->parents[i++].get();
+      if (!visited.count(p)) {
+        visited.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  node_->grad = Matrix(1, 1, 1.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* n = *it;
+    if (n->backward && !n->grad.empty()) n->backward(*n);
+  }
+}
+
+// ---- Core ops -------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value() + b.value();
+  return MakeOp(std::move(v), {a, b}, [](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad);
+    n.parents[1]->AccumulateGrad(n.grad);
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value() - b.value();
+  return MakeOp(std::move(v), {a, b}, [](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad);
+    n.parents[1]->AccumulateGrad(-n.grad);
+  });
+}
+
+Tensor Neg(const Tensor& a) {
+  return MakeOp(-a.value(), {a}, [](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(-n.grad);
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value().MatMul(b.value());
+  return MakeOp(std::move(v), {a, b}, [](TensorNode& n) {
+    const Matrix& av = n.parents[0]->value;
+    const Matrix& bv = n.parents[1]->value;
+    n.parents[0]->AccumulateGrad(n.grad.MatMul(bv.Transpose()));
+    n.parents[1]->AccumulateGrad(av.Transpose().MatMul(n.grad));
+  });
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value().Hadamard(b.value());
+  return MakeOp(std::move(v), {a, b}, [](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad.Hadamard(n.parents[1]->value));
+    n.parents[1]->AccumulateGrad(n.grad.Hadamard(n.parents[0]->value));
+  });
+}
+
+Tensor CwiseDiv(const Tensor& a, const Tensor& b, double eps) {
+  Matrix v = a.value().CwiseDiv(b.value(), eps);
+  return MakeOp(std::move(v), {a, b}, [eps](TensorNode& n) {
+    const Matrix& av = n.parents[0]->value;
+    const Matrix& bv = n.parents[1]->value;
+    Matrix inv_b = Matrix::Ones(bv.rows(), bv.cols()).CwiseDiv(bv, eps);
+    n.parents[0]->AccumulateGrad(n.grad.Hadamard(inv_b));
+    // d/db (a/b) = -a / b^2
+    Matrix db = n.grad.Hadamard(av).Hadamard(inv_b).Hadamard(inv_b);
+    n.parents[1]->AccumulateGrad(-db);
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  return MakeOp(a.value().Transpose(), {a}, [](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad.Transpose());
+  });
+}
+
+Tensor ScaleConst(const Tensor& a, double s) {
+  return MakeOp(a.value() * s, {a}, [s](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad * s);
+  });
+}
+
+Tensor ScaleScalar(const Tensor& a, const Tensor& s) {
+  OTGED_CHECK(s.rows() == 1 && s.cols() == 1);
+  Matrix v = a.value() * s.item();
+  return MakeOp(std::move(v), {a, s}, [](TensorNode& n) {
+    double sv = n.parents[1]->value(0, 0);
+    n.parents[0]->AccumulateGrad(n.grad * sv);
+    Matrix ds(1, 1, n.grad.Dot(n.parents[0]->value));
+    n.parents[1]->AccumulateGrad(ds);
+  });
+}
+
+Tensor ScaleOnePlus(const Tensor& a, const Tensor& s) {
+  OTGED_CHECK(s.rows() == 1 && s.cols() == 1);
+  Matrix v = a.value() * (1.0 + s.item());
+  return MakeOp(std::move(v), {a, s}, [](TensorNode& n) {
+    double sv = 1.0 + n.parents[1]->value(0, 0);
+    n.parents[0]->AccumulateGrad(n.grad * sv);
+    Matrix ds(1, 1, n.grad.Dot(n.parents[0]->value));
+    n.parents[1]->AccumulateGrad(ds);
+  });
+}
+
+// ---- Non-linearities ------------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  Matrix v = a.value().Map([](double x) { return x > 0 ? x : 0.0; });
+  return MakeOp(std::move(v), {a}, [](TensorNode& n) {
+    Matrix g = n.grad;
+    const Matrix& av = n.parents[0]->value;
+    for (int i = 0; i < g.size(); ++i)
+      if (av[i] <= 0) g[i] = 0.0;
+    n.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Tensor TanhT(const Tensor& a) {
+  Matrix v = a.value().Map([](double x) { return std::tanh(x); });
+  Matrix saved = v;
+  return MakeOp(std::move(v), {a}, [saved](TensorNode& n) {
+    Matrix g = n.grad;
+    for (int i = 0; i < g.size(); ++i) g[i] *= 1.0 - saved[i] * saved[i];
+    n.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix v = a.value().Map([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  Matrix saved = v;
+  return MakeOp(std::move(v), {a}, [saved](TensorNode& n) {
+    Matrix g = n.grad;
+    for (int i = 0; i < g.size(); ++i) g[i] *= saved[i] * (1.0 - saved[i]);
+    n.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Tensor ExpT(const Tensor& a) {
+  Matrix v = a.value().Map([](double x) { return std::exp(x); });
+  Matrix saved = v;
+  return MakeOp(std::move(v), {a}, [saved](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad.Hadamard(saved));
+  });
+}
+
+// ---- Shape ops ------------------------------------------------------------
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value().ConcatCols(b.value());
+  int ca = a.cols();
+  return MakeOp(std::move(v), {a, b}, [ca](TensorNode& n) {
+    const Matrix& g = n.grad;
+    Matrix ga(n.parents[0]->value.rows(), ca);
+    Matrix gb(n.parents[1]->value.rows(), g.cols() - ca);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < ca; ++j) ga(i, j) = g(i, j);
+      for (int j = ca; j < g.cols(); ++j) gb(i, j - ca) = g(i, j);
+    }
+    n.parents[0]->AccumulateGrad(ga);
+    n.parents[1]->AccumulateGrad(gb);
+  });
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  Matrix v = a.value().ConcatRows(b.value());
+  int ra = a.rows();
+  return MakeOp(std::move(v), {a, b}, [ra](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad.SliceRows(0, ra));
+    n.parents[1]->AccumulateGrad(n.grad.SliceRows(ra, n.grad.rows()));
+  });
+}
+
+Tensor SliceRows(const Tensor& a, int r0, int r1) {
+  Matrix v = a.value().SliceRows(r0, r1);
+  return MakeOp(std::move(v), {a}, [r0](TensorNode& n) {
+    Matrix g(n.parents[0]->value.rows(), n.parents[0]->value.cols(), 0.0);
+    for (int i = 0; i < n.grad.rows(); ++i)
+      for (int j = 0; j < n.grad.cols(); ++j) g(r0 + i, j) = n.grad(i, j);
+    n.parents[0]->AccumulateGrad(g);
+  });
+}
+
+// ---- Reductions -----------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  Matrix v(1, 1, a.value().Sum());
+  return MakeOp(std::move(v), {a}, [](TensorNode& n) {
+    double g = n.grad(0, 0);
+    n.parents[0]->AccumulateGrad(
+        Matrix(n.parents[0]->value.rows(), n.parents[0]->value.cols(), g));
+  });
+}
+
+Tensor RowMean(const Tensor& a) {
+  const int r = a.rows();
+  Matrix v = a.value().ColSums() * (1.0 / r);
+  return MakeOp(std::move(v), {a}, [r](TensorNode& n) {
+    Matrix g(n.parents[0]->value.rows(), n.parents[0]->value.cols());
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j) g(i, j) = n.grad(0, j) / r;
+    n.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  Matrix v(1, 1, a.value().Dot(b.value()));
+  return MakeOp(std::move(v), {a, b}, [](TensorNode& n) {
+    double g = n.grad(0, 0);
+    n.parents[0]->AccumulateGrad(n.parents[1]->value * g);
+    n.parents[1]->AccumulateGrad(n.parents[0]->value * g);
+  });
+}
+
+// ---- Fused ops ------------------------------------------------------------
+
+Tensor KernelExp(const Tensor& c, const Tensor& log_eps) {
+  OTGED_CHECK(log_eps.rows() == 1 && log_eps.cols() == 1);
+  const double eps = std::exp(log_eps.item());
+  Matrix v = c.value().Map([eps](double x) { return std::exp(-x / eps); });
+  Matrix saved = v;
+  return MakeOp(std::move(v), {c, log_eps}, [saved, eps](TensorNode& n) {
+    const Matrix& cv = n.parents[0]->value;
+    // dK/dC = -K / eps
+    n.parents[0]->AccumulateGrad(n.grad.Hadamard(saved) * (-1.0 / eps));
+    // dK/d(log_eps) = K * C / eps  (since d eps/d log_eps = eps)
+    double s = 0.0;
+    for (int i = 0; i < cv.size(); ++i)
+      s += n.grad[i] * saved[i] * cv[i] / eps;
+    n.parents[1]->AccumulateGrad(Matrix(1, 1, s));
+  });
+}
+
+// ---- Losses ---------------------------------------------------------------
+
+Tensor BceLoss(const Tensor& p, const Matrix& t, double delta) {
+  OTGED_CHECK(p.rows() == t.rows() && p.cols() == t.cols());
+  const int count = t.size();
+  OTGED_CHECK(count > 0);
+  const Matrix& pv = p.value();
+  double loss = 0.0;
+  for (int i = 0; i < count; ++i) {
+    double x = std::clamp(pv[i], delta, 1.0 - delta);
+    loss -= t[i] * std::log(x) + (1.0 - t[i]) * std::log(1.0 - x);
+  }
+  loss /= count;
+  Matrix target = t;
+  return MakeOp(Matrix(1, 1, loss), {p},
+                [target, delta, count](TensorNode& n) {
+    const Matrix& pv = n.parents[0]->value;
+    double g = n.grad(0, 0);
+    Matrix dp(pv.rows(), pv.cols());
+    for (int i = 0; i < count; ++i) {
+      double x = std::clamp(pv[i], delta, 1.0 - delta);
+      dp[i] = g * (-target[i] / x + (1.0 - target[i]) / (1.0 - x)) / count;
+    }
+    n.parents[0]->AccumulateGrad(dp);
+  });
+}
+
+Tensor MseLoss(const Tensor& pred, double target) {
+  OTGED_CHECK(pred.rows() == 1 && pred.cols() == 1);
+  double diff = pred.item() - target;
+  return MakeOp(Matrix(1, 1, diff * diff), {pred}, [diff](TensorNode& n) {
+    n.parents[0]->AccumulateGrad(Matrix(1, 1, 2.0 * diff * n.grad(0, 0)));
+  });
+}
+
+}  // namespace otged

@@ -1,0 +1,131 @@
+/// \file tensor.hpp
+/// \brief Minimal reverse-mode automatic differentiation over dense
+/// matrices — the training substrate for GEDIOT and the learned baselines.
+///
+/// Design: define-by-run. Every operation allocates a graph node holding
+/// the result value, its parents, and a backward closure that scatters the
+/// incoming gradient to the parents. `Tensor` is a cheap shared handle.
+/// Gradients are accumulated by `Backward()` on a scalar (1x1) output via
+/// reverse topological order. The op set is exactly what the paper's
+/// architecture needs (GIN, MLP, NTN, attention pooling, learnable
+/// Sinkhorn, BCE/MSE losses) — nothing speculative.
+#ifndef OTGED_NN_TENSOR_HPP_
+#define OTGED_NN_TENSOR_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace otged {
+
+namespace internal {
+struct TensorNode {
+  Matrix value;
+  Matrix grad;              // allocated lazily on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  std::function<void(TensorNode&)> backward;  // scatters node.grad to parents
+
+  void AccumulateGrad(const Matrix& g);
+};
+}  // namespace internal
+
+/// Shared handle to an autograd node.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Leaf tensor. `requires_grad` marks trainable parameters; constants
+  /// (adjacency matrices, mass vectors, targets) leave it false.
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  /// Mutable access for optimizers (in-place parameter updates).
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  void ZeroGrad();
+
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  /// Scalar convenience for 1x1 tensors.
+  double item() const {
+    OTGED_CHECK(rows() == 1 && cols() == 1);
+    return node_->value(0, 0);
+  }
+
+  /// Runs reverse-mode accumulation from this scalar (1x1) tensor.
+  void Backward();
+
+  std::shared_ptr<internal::TensorNode> node() const { return node_; }
+
+ private:
+  friend Tensor MakeOp(Matrix value, std::vector<Tensor> parents,
+                       std::function<void(internal::TensorNode&)> backward);
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+/// Internal op constructor (exposed for the modules layer).
+Tensor MakeOp(Matrix value, std::vector<Tensor> parents,
+              std::function<void(internal::TensorNode&)> backward);
+
+// ---- Core ops -------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Neg(const Tensor& a);
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+/// Element-wise a / b with denominator clamped away from 0 by `eps`.
+Tensor CwiseDiv(const Tensor& a, const Tensor& b, double eps = 1e-30);
+Tensor Transpose(const Tensor& a);
+Tensor ScaleConst(const Tensor& a, double s);
+/// out = a * s where s is a trainable 1x1 scalar tensor.
+Tensor ScaleScalar(const Tensor& a, const Tensor& s);
+/// out = a * (1 + s): the GIN self-weighting.
+Tensor ScaleOnePlus(const Tensor& a, const Tensor& s);
+
+// ---- Non-linearities ------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor TanhT(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor ExpT(const Tensor& a);
+
+// ---- Shape ops ------------------------------------------------------------
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+Tensor SliceRows(const Tensor& a, int r0, int r1);
+
+// ---- Reductions -----------------------------------------------------------
+
+/// Sum of all entries -> 1x1.
+Tensor Sum(const Tensor& a);
+/// Mean over rows -> 1 x cols.
+Tensor RowMean(const Tensor& a);
+/// Frobenius dot product <a, b> -> 1x1.
+Tensor Dot(const Tensor& a, const Tensor& b);
+
+// ---- Fused ops for the learnable Sinkhorn layer ---------------------------
+
+/// K = exp(-c / eps) with eps = exp(log_eps) (1x1 trainable scalar). The
+/// exp parameterization keeps the learnable regularization coefficient
+/// strictly positive (Section 4.2: "learnable epsilon").
+Tensor KernelExp(const Tensor& c, const Tensor& log_eps);
+
+// ---- Losses ---------------------------------------------------------------
+
+/// Mean binary cross-entropy between prediction `p` (entries clamped to
+/// (delta, 1-delta)) and constant target `t` in [0,1]; normalized by the
+/// entry count (the paper's L_m with 1/(n1 n2)).
+Tensor BceLoss(const Tensor& p, const Matrix& t, double delta = 1e-7);
+/// Squared error (pred - target)^2 of a 1x1 prediction.
+Tensor MseLoss(const Tensor& pred, double target);
+
+}  // namespace otged
+
+#endif  // OTGED_NN_TENSOR_HPP_

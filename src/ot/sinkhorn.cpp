@@ -1,0 +1,131 @@
+#include "ot/sinkhorn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace otged {
+
+namespace {
+
+constexpr double kTiny = 1e-300;
+
+// Marginal violation ||pi 1 - mu||_inf + ||pi^T 1 - nu||_inf.
+double MarginalError(const Matrix& pi, const Matrix& mu, const Matrix& nu) {
+  Matrix r = pi.RowSums();
+  Matrix c = pi.ColSums().Transpose();
+  return r.MaxAbsDiff(mu) + c.MaxAbsDiff(nu);
+}
+
+SinkhornResult SinkhornPlain(const Matrix& cost, const Matrix& mu,
+                             const Matrix& nu, const SinkhornOptions& opt) {
+  const int n1 = cost.rows(), n2 = cost.cols();
+  Matrix K = cost.Map([&](double c) { return std::exp(-c / opt.epsilon); });
+  Matrix phi = Matrix::ColVec(n1, 1.0);
+  Matrix psi = Matrix::ColVec(n2, 1.0);
+  SinkhornResult res;
+  for (int m = 0; m < opt.max_iters; ++m) {
+    psi = nu.CwiseDiv(K.Transpose().MatMul(phi), kTiny);
+    phi = mu.CwiseDiv(K.MatMul(psi), kTiny);
+    res.iters = m + 1;
+    if ((m + 1) % 5 == 0 || m + 1 == opt.max_iters) {
+      Matrix pi = K.ScaleRows(phi).ScaleCols(psi);
+      if (MarginalError(pi, mu, nu) < opt.tol) {
+        res.converged = true;
+        break;
+      }
+    }
+  }
+  res.coupling = K.ScaleRows(phi).ScaleCols(psi);
+  res.cost = cost.Dot(res.coupling);
+  return res;
+}
+
+// Log-domain variant: potentials f, g with soft-min updates; immune to
+// underflow for very small epsilon.
+SinkhornResult SinkhornLog(const Matrix& cost, const Matrix& mu,
+                           const Matrix& nu, const SinkhornOptions& opt) {
+  const int n1 = cost.rows(), n2 = cost.cols();
+  const double eps = opt.epsilon;
+  std::vector<double> f(n1, 0.0), g(n2, 0.0);
+  std::vector<double> log_mu(n1), log_nu(n2);
+  for (int i = 0; i < n1; ++i) log_mu[i] = std::log(std::max(mu(i, 0), kTiny));
+  for (int j = 0; j < n2; ++j) log_nu[j] = std::log(std::max(nu(j, 0), kTiny));
+
+  auto softmin_row = [&](int i) {
+    // -eps * logsumexp_j ((-C_ij + g_j) / eps)
+    double mx = -std::numeric_limits<double>::infinity();
+    for (int j = 0; j < n2; ++j)
+      mx = std::max(mx, (-cost(i, j) + g[j]) / eps);
+    double s = 0.0;
+    for (int j = 0; j < n2; ++j)
+      s += std::exp((-cost(i, j) + g[j]) / eps - mx);
+    return -eps * (mx + std::log(s));
+  };
+  auto softmin_col = [&](int j) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n1; ++i)
+      mx = std::max(mx, (-cost(i, j) + f[i]) / eps);
+    double s = 0.0;
+    for (int i = 0; i < n1; ++i)
+      s += std::exp((-cost(i, j) + f[i]) / eps - mx);
+    return -eps * (mx + std::log(s));
+  };
+
+  SinkhornResult res;
+  Matrix pi(n1, n2);
+  for (int m = 0; m < opt.max_iters; ++m) {
+    for (int j = 0; j < n2; ++j) g[j] = softmin_col(j) + eps * log_nu[j];
+    for (int i = 0; i < n1; ++i) f[i] = softmin_row(i) + eps * log_mu[i];
+    res.iters = m + 1;
+    if ((m + 1) % 5 == 0 || m + 1 == opt.max_iters) {
+      for (int i = 0; i < n1; ++i)
+        for (int j = 0; j < n2; ++j)
+          pi(i, j) = std::exp((f[i] + g[j] - cost(i, j)) / eps);
+      if (MarginalError(pi, mu, nu) < opt.tol) {
+        res.converged = true;
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < n1; ++i)
+    for (int j = 0; j < n2; ++j)
+      pi(i, j) = std::exp((f[i] + g[j] - cost(i, j)) / eps);
+  res.coupling = pi;
+  res.cost = cost.Dot(pi);
+  return res;
+}
+
+}  // namespace
+
+SinkhornResult Sinkhorn(const Matrix& cost, const Matrix& mu,
+                        const Matrix& nu, const SinkhornOptions& opt) {
+  OTGED_CHECK(mu.rows() == cost.rows() && mu.cols() == 1);
+  OTGED_CHECK(nu.rows() == cost.cols() && nu.cols() == 1);
+  OTGED_CHECK(opt.epsilon > 0.0);
+  OTGED_CHECK_MSG(std::abs(mu.Sum() - nu.Sum()) < 1e-6,
+                  "total masses must agree");
+  return opt.log_domain ? SinkhornLog(cost, mu, nu, opt)
+                        : SinkhornPlain(cost, mu, nu, opt);
+}
+
+SinkhornResult SolveGedOt(const Matrix& cost, const SinkhornOptions& opt) {
+  const int n1 = cost.rows(), n2 = cost.cols();
+  OTGED_CHECK(n1 <= n2);
+  // Extend with the zero dummy row (Eq. 11).
+  Matrix ext = cost.ConcatRows(Matrix(1, n2, 0.0));
+  Matrix mu = Matrix::ColVec(n1 + 1, 1.0);
+  mu(n1, 0) = static_cast<double>(n2 - n1);
+  Matrix nu = Matrix::ColVec(n2, 1.0);
+  // Degenerate case n1 == n2: dummy mass 0 is fine in log/plain updates
+  // (row scaling sends that row to ~0).
+  SinkhornResult full = Sinkhorn(ext, mu, nu, opt);
+  SinkhornResult res;
+  res.coupling = full.coupling.SliceRows(0, n1);
+  res.cost = cost.Dot(res.coupling);
+  res.iters = full.iters;
+  res.converged = full.converged;
+  return res;
+}
+
+}  // namespace otged

@@ -1,0 +1,80 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/serialize.hpp"
+
+namespace otged {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, start at 0; Adam should approach 3.
+  Tensor x(Matrix(1, 1, 0.0), true);
+  Adam::Options opt;
+  opt.lr = 0.1;
+  opt.weight_decay = 0.0;
+  Adam adam({x}, opt);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    MseLoss(Sum(x), 3.0).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.value()(0, 0), 3.0, 1e-2);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParams) {
+  Tensor used(Matrix(1, 1, 1.0), true);
+  Tensor x(Matrix(1, 1, 5.0), true);
+  Adam::Options opt;
+  opt.lr = 0.05;
+  opt.weight_decay = 0.1;
+  Adam adam({x}, opt);
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    // Give x a zero but present gradient so decay applies.
+    ScaleConst(Sum(x), 0.0).Backward();
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(x.value()(0, 0)), 1.0);
+}
+
+TEST(AdamTest, ClipBoundsGradients) {
+  Tensor x(Matrix(1, 2, 0.0), true);
+  Adam adam({x});
+  adam.ZeroGrad();
+  ScaleConst(Sum(x), 100.0).Backward();
+  adam.ClipGradients(1.0);
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x.grad()(0, 1), 1.0);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrads) {
+  Tensor x(Matrix(1, 1, 2.0), true);
+  Adam adam({x});
+  adam.Step();  // no gradient accumulated: value must not change
+  EXPECT_DOUBLE_EQ(x.value()(0, 0), 2.0);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  std::vector<Tensor> params = {Tensor(Matrix{{1, 2}, {3, 4}}, true),
+                                Tensor(Matrix(1, 1, 9.0), true)};
+  std::string path = ::testing::TempDir() + "/otged_params.bin";
+  ASSERT_TRUE(SaveParameters(params, path));
+  std::vector<Tensor> loaded = {Tensor(Matrix(2, 2, 0.0), true),
+                                Tensor(Matrix(1, 1, 0.0), true)};
+  ASSERT_TRUE(LoadParameters(&loaded, path));
+  EXPECT_DOUBLE_EQ(loaded[0].value()(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(loaded[1].value()(0, 0), 9.0);
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  std::vector<Tensor> params = {Tensor(Matrix(2, 2, 1.0), true)};
+  std::string path = ::testing::TempDir() + "/otged_params2.bin";
+  ASSERT_TRUE(SaveParameters(params, path));
+  std::vector<Tensor> wrong = {Tensor(Matrix(3, 2, 0.0), true)};
+  EXPECT_FALSE(LoadParameters(&wrong, path));
+  EXPECT_FALSE(LoadParameters(&params, path + ".missing"));
+}
+
+}  // namespace
+}  // namespace otged

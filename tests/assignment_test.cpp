@@ -1,0 +1,115 @@
+#include "assignment/hungarian.hpp"
+#include "assignment/lapjv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/random.hpp"
+
+namespace otged {
+namespace {
+
+// Exhaustive minimum over all permutations (n <= 8).
+double BruteForceMin(const Matrix& cost) {
+  const int n = cost.rows();
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  double best = 1e300;
+  do {
+    double total = 0;
+    for (int i = 0; i < n; ++i) total += cost(i, perm[i]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, KnownSmallInstance) {
+  Matrix cost = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  AssignmentResult res = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(res.cost, 5.0);  // 1 + 2 + 2
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(HungarianTest, PermutationIsValid) {
+  Rng rng(1);
+  Matrix cost(6, 6);
+  for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(0, 10);
+  AssignmentResult res = SolveAssignment(cost);
+  std::vector<char> used(6, 0);
+  for (int c : res.row_to_col) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 6);
+    EXPECT_FALSE(used[c]);
+    used[c] = 1;
+  }
+}
+
+TEST(HungarianTest, MatchesBruteForceRandom) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = rng.UniformInt(2, 7);
+    Matrix cost(n, n);
+    for (int i = 0; i < cost.size(); ++i) cost[i] = rng.UniformInt(0, 9);
+    EXPECT_DOUBLE_EQ(SolveAssignment(cost).cost, BruteForceMin(cost));
+  }
+}
+
+TEST(LapjvTest, AgreesWithHungarianOnRandomInstances) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = rng.UniformInt(2, 12);
+    Matrix cost(n, n);
+    for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(0, 100);
+    double a = SolveAssignment(cost).cost;
+    double b = SolveAssignmentJV(cost).cost;
+    EXPECT_NEAR(a, b, 1e-6) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(LapjvTest, IntegerCostsWithTies) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = rng.UniformInt(2, 8);
+    Matrix cost(n, n);
+    for (int i = 0; i < cost.size(); ++i) cost[i] = rng.UniformInt(0, 3);
+    EXPECT_DOUBLE_EQ(SolveAssignmentJV(cost).cost, BruteForceMin(cost));
+  }
+}
+
+TEST(RectangularTest, PadsWithZeroRows) {
+  Matrix cost = {{5, 1, 7}};
+  AssignmentResult res = SolveAssignmentRect(cost);
+  ASSERT_EQ(res.row_to_col.size(), 1u);
+  EXPECT_EQ(res.row_to_col[0], 1);
+  EXPECT_DOUBLE_EQ(res.cost, 1.0);
+}
+
+TEST(MaxWeightTest, MaximizesInsteadOfMinimizes) {
+  Matrix w = {{1, 9}, {8, 2}};
+  AssignmentResult res = SolveMaxWeightAssignment(w);
+  EXPECT_DOUBLE_EQ(res.cost, 17.0);
+  EXPECT_EQ(res.row_to_col[0], 1);
+  EXPECT_EQ(res.row_to_col[1], 0);
+}
+
+TEST(MaxWeightTest, RectangularWeights) {
+  Matrix w = {{1, 9, 4}, {8, 2, 4}};
+  AssignmentResult res = SolveMaxWeightAssignment(w);
+  EXPECT_DOUBLE_EQ(res.cost, 17.0);
+}
+
+TEST(ForbiddenTest, AvoidsForbiddenEntries) {
+  Matrix cost = {{kAssignInf, 1.0}, {1.0, kAssignInf}};
+  AssignmentResult res = SolveAssignment(cost);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.row_to_col[0], 1);
+  EXPECT_EQ(res.row_to_col[1], 0);
+}
+
+TEST(ForbiddenTest, ReportsInfeasibleWhenForced) {
+  Matrix cost = {{kAssignInf, kAssignInf}, {1.0, kAssignInf}};
+  AssignmentResult res = SolveAssignment(cost);
+  EXPECT_FALSE(res.feasible);
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,125 @@
+#include "graph/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otged {
+namespace {
+
+TEST(DatasetTest, StatsMatchKind) {
+  Dataset aids = MakeDataset(DatasetKind::kAids, 50, 1);
+  EXPECT_EQ(aids.name, "AIDS-like");
+  EXPECT_EQ(aids.num_labels, 29);
+  EXPECT_EQ(aids.graphs.size(), 50u);
+  EXPECT_LE(aids.MaxNodes(), 10);
+
+  Dataset imdb = MakeDataset(DatasetKind::kImdb, 50, 2);
+  EXPECT_EQ(imdb.num_labels, 1);
+  // Ego-nets are denser than molecules.
+  EXPECT_GT(imdb.AvgEdges() / imdb.AvgNodes(),
+            aids.AvgEdges() / aids.AvgNodes());
+}
+
+TEST(DatasetTest, PairSetShapes) {
+  Dataset d = MakeDataset(DatasetKind::kLinux, 40, 3);
+  PairSetOptions opt;
+  opt.num_train_pairs = 30;
+  opt.num_test_queries = 3;
+  opt.pairs_per_query = 5;
+  opt.exactify_small = false;
+  PairSet set = MakePairSet(d, opt);
+  EXPECT_EQ(set.train.size(), 30u);
+  EXPECT_EQ(set.test.size(), 3u);
+  for (const QueryGroup& g : set.test) EXPECT_EQ(g.pairs.size(), 5u);
+  for (const GedPair& p : set.train) {
+    EXPECT_LE(p.g1.NumNodes(), p.g2.NumNodes());
+    EXPECT_GE(p.ged, 1);
+    EXPECT_EQ(EditCostFromMatching(p.g1, p.g2, p.gt_matching), p.ged);
+  }
+}
+
+TEST(DatasetTest, ExactifiedPairsAreOptimal) {
+  Dataset d = MakeDataset(DatasetKind::kAids, 30, 4);
+  PairSetOptions opt;
+  opt.num_train_pairs = 20;
+  opt.num_test_queries = 2;
+  opt.pairs_per_query = 4;
+  opt.exactify_small = true;
+  opt.exact_max_nodes = 8;
+  PairSet set = MakePairSet(d, opt);
+  int exact_count = 0;
+  for (const GedPair& p : set.train) {
+    if (p.exact) {
+      ++exact_count;
+      // The stored matching realizes the stored GED.
+      EXPECT_EQ(EditCostFromMatching(p.g1, p.g2, p.gt_matching), p.ged);
+      EXPECT_EQ(static_cast<int>(p.gt_path.size()), p.ged);
+    }
+  }
+  EXPECT_GT(exact_count, 0);
+}
+
+TEST(DatasetTest, QueryGroupAroundFixedGraph) {
+  Rng rng(5);
+  Graph g = LinuxLikeGraph(&rng, 6, 9);
+  QueryGroup group = MakeQueryGroup(g, 8, 4, 1, &rng);
+  EXPECT_EQ(group.pairs.size(), 8u);
+  for (const GedPair& p : group.pairs) {
+    EXPECT_TRUE(p.g1 == g);
+    EXPECT_GE(p.ged, 1);
+    EXPECT_LE(p.ged, 4);
+  }
+}
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  Dataset a = MakeDataset(DatasetKind::kAids, 10, 42);
+  Dataset b = MakeDataset(DatasetKind::kAids, 10, 42);
+  for (size_t i = 0; i < a.graphs.size(); ++i)
+    EXPECT_TRUE(a.graphs[i] == b.graphs[i]);
+}
+
+}  // namespace
+}  // namespace otged
+
+namespace otged {
+namespace {
+
+TEST(ArbitraryPairSetTest, ExactGroundTruthIsSandwiched) {
+  Dataset d = MakeDataset(DatasetKind::kAids, 30, 9);
+  ArbitraryPairOptions opt;
+  opt.num_train_pairs = 25;
+  opt.num_test_queries = 2;
+  opt.pairs_per_query = 5;
+  PairSet set = MakeArbitraryPairSet(d, opt);
+  EXPECT_EQ(set.train.size(), 25u);
+  int exact_count = 0;
+  for (const GedPair& p : set.train) {
+    EXPECT_LE(p.g1.NumNodes(), p.g2.NumNodes());
+    // GT matching always realizes the stored GED (feasible path exists).
+    EXPECT_EQ(EditCostFromMatching(p.g1, p.g2, p.gt_matching), p.ged);
+    EXPECT_GE(p.ged, LabelSetLowerBound(p.g1, p.g2));
+    if (p.exact) ++exact_count;
+  }
+  // On <=10-node molecules, branch-and-bound virtually always completes.
+  EXPECT_GT(exact_count, 20);
+}
+
+TEST(ArbitraryPairSetTest, QueryGroupsShareTheQueryGraph) {
+  Dataset d = MakeDataset(DatasetKind::kLinux, 30, 10);
+  ArbitraryPairOptions opt;
+  opt.num_train_pairs = 5;
+  opt.num_test_queries = 2;
+  opt.pairs_per_query = 6;
+  PairSet set = MakeArbitraryPairSet(d, opt);
+  ASSERT_EQ(set.test.size(), 2u);
+  for (const QueryGroup& g : set.test) {
+    ASSERT_EQ(g.pairs.size(), 6u);
+    // All pairs in a group involve one shared query graph (as g1 or g2).
+    for (const GedPair& p : g.pairs) {
+      EXPECT_GE(p.ged, 0);
+      EXPECT_EQ(static_cast<int>(p.gt_path.size()), p.ged);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,154 @@
+/// Tests for edge-labeled GED support (paper Appendix H.1): storage,
+/// edit-path semantics, exact search, labeled GW tensor, and the
+/// edge-label-aware GEDGW solver.
+#include <gtest/gtest.h>
+
+#include "exact/astar.hpp"
+#include "graph/generator.hpp"
+#include "models/gedgw.hpp"
+#include "ot/gromov.hpp"
+
+namespace otged {
+namespace {
+
+TEST(EdgeLabelStorageTest, RoundTrip) {
+  Graph g(3, 0);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(1, 2);  // default unlabeled
+  EXPECT_TRUE(g.HasEdgeLabels());
+  EXPECT_EQ(g.edge_label(0, 1), 2);
+  EXPECT_EQ(g.edge_label(1, 0), 2);  // symmetric
+  EXPECT_EQ(g.edge_label(1, 2), 0);
+  g.set_edge_label(1, 2, 5);
+  EXPECT_EQ(g.edge_label(2, 1), 5);
+  g.RemoveEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.edge_label(0, 1), 0);  // label did not survive removal
+  std::vector<Label> alphabet = g.EdgeLabelAlphabet();
+  ASSERT_EQ(alphabet.size(), 1u);
+  EXPECT_EQ(alphabet[0], 5);
+}
+
+TEST(EdgeLabelPathTest, RelabelEdgeCostsOne) {
+  Graph g1(2, 0);
+  g1.AddEdge(0, 1, 1);
+  Graph g2(2, 0);
+  g2.AddEdge(0, 1, 2);
+  NodeMatching id = {0, 1};
+  EXPECT_EQ(EditCostFromMatching(g1, g2, id), 1);
+  auto path = EditPathFromMatching(g1, g2, id);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].type, EditOpType::kRelabelEdge);
+  EXPECT_EQ(path[0].l, 2);
+  Graph rebuilt = ApplyEditPath(g1, g2, id, path);
+  EXPECT_TRUE(rebuilt == g2);
+}
+
+TEST(EdgeLabelPathTest, InsertionCarriesLabel) {
+  Graph g1(2, 0);
+  Graph g2(2, 0);
+  g2.AddEdge(0, 1, 3);
+  NodeMatching id = {0, 1};
+  auto path = EditPathFromMatching(g1, g2, id);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].type, EditOpType::kInsertEdge);
+  EXPECT_EQ(path[0].l, 3);
+  EXPECT_TRUE(ApplyEditPath(g1, g2, id, path) == g2);
+}
+
+TEST(EdgeLabelExactTest, AstarCountsEdgeRelabels) {
+  Rng rng(1);
+  Graph g1 = AidsLikeGraph(&rng, 4, 6);
+  AssignRandomEdgeLabels(&g1, 3, &rng);
+  Graph g2 = g1;
+  // Flip one edge label.
+  int u = 0;
+  while (g1.Degree(u) == 0) ++u;
+  int v = g1.Neighbors(u)[0];
+  g2.set_edge_label(u, v, g1.edge_label(u, v) == 0 ? 1 : 0);
+  auto res = AstarGed(g1, g2);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ged, 1);
+}
+
+TEST(EdgeLabelExactTest, SyntheticDeltaIsUpperBound) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 4, 7);
+    AssignRandomEdgeLabels(&g, 3, &rng);
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 4);
+    opt.num_labels = 29;
+    opt.num_edge_labels = 3;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    EXPECT_EQ(EditCostFromMatching(pair.g1, pair.g2, pair.gt_matching),
+              pair.ged);
+    if (pair.g2.NumNodes() <= 8) {
+      auto exact = AstarGed(pair.g1, pair.g2);
+      ASSERT_TRUE(exact.has_value());
+      EXPECT_LE(exact->ged, pair.ged);
+    }
+  }
+}
+
+TEST(GwClassesTest, ReducesToUnlabeledTensorProduct) {
+  Rng rng(3);
+  Graph g1 = RandomConnectedGraph(5, 2, 1, &rng);
+  Graph g2 = RandomConnectedGraph(5, 3, 1, &rng);
+  Matrix pi(5, 5);
+  for (int i = 0; i < pi.size(); ++i) pi[i] = rng.Uniform(0, 0.4);
+  std::vector<Label> empty_alphabet;
+  std::vector<Matrix> c1 = EdgeClassMatrices(g1, 5, empty_alphabet);
+  std::vector<Matrix> c2 = EdgeClassMatrices(g2, 5, empty_alphabet);
+  Matrix labeled = GwTensorProductClasses(c1, c2, pi);
+  Matrix plain =
+      GwTensorProduct(g1.AdjacencyMatrix(), g2.AdjacencyMatrix(), pi);
+  EXPECT_LT(labeled.MaxAbsDiff(plain), 1e-9);
+}
+
+TEST(GwClassesTest, LabelMismatchRegisters) {
+  // Two identical triangles except one edge label -> the identity
+  // coupling has GW energy 2 (ordered pairs), i.e., edit cost 1.
+  Graph g1(3, 0), g2(3, 0);
+  g1.AddEdge(0, 1, 1);
+  g2.AddEdge(0, 1, 2);
+  g1.AddEdge(1, 2);
+  g2.AddEdge(1, 2);
+  std::vector<Label> alphabet = {1, 2};
+  std::vector<Matrix> c1 = EdgeClassMatrices(g1, 3, alphabet);
+  std::vector<Matrix> c2 = EdgeClassMatrices(g2, 3, alphabet);
+  Matrix pi = Matrix::Identity(3);
+  Matrix lp = GwTensorProductClasses(c1, c2, pi);
+  EXPECT_NEAR(pi.Dot(lp), 2.0, 1e-9);
+}
+
+TEST(EdgeLabelGedgwTest, DetectsRelabelCost) {
+  Rng rng(4);
+  GedgwSolver solver;
+  double total_err = 0;
+  int count = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 5, 8);
+    AssignRandomEdgeLabels(&g, 3, &rng);
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 3);
+    opt.num_labels = 29;
+    opt.num_edge_labels = 3;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    Prediction p = solver.Predict(pair.g1, pair.g2);
+    total_err += std::abs(p.ged - pair.ged);
+    ++count;
+  }
+  EXPECT_LT(total_err / count, 2.5);
+}
+
+TEST(EdgeLabelGedgwTest, ZeroOnIdenticalLabeledGraphs) {
+  Rng rng(5);
+  Graph g = AidsLikeGraph(&rng, 5, 8);
+  AssignRandomEdgeLabels(&g, 4, &rng);
+  GedgwSolver solver;
+  EXPECT_NEAR(solver.Predict(g, g).ged, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,97 @@
+#include "editpath/edit_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+
+namespace otged {
+namespace {
+
+// The paper's Figure 1 example: G1 (3 nodes, path) -> G2 (4 nodes), GED 4.
+// G1: u1 - u2 - u3 (labels A A B); edge (u2,u3).   Edges: (u1,u2), (u2,u3).
+// G2: v1 - v2, v3 - v4; edges (v1,v2), (v2,v3)? We reproduce the spirit:
+// relabel + insert node + delete edge + insert edge.
+TEST(EditPathTest, Figure1StyleExample) {
+  Graph g1(3, 0);
+  g1.set_label(2, 1);  // u3 has a different label
+  g1.AddEdge(0, 1);
+  g1.AddEdge(1, 2);
+  Graph g2(4, 0);
+  g2.set_label(2, 2);  // v3 relabeled
+  g2.set_label(3, 1);  // inserted green node
+  g2.AddEdge(0, 1);
+  g2.AddEdge(2, 3);
+  NodeMatching match = {0, 1, 2};  // u_i -> v_i
+  auto path = EditPathFromMatching(g1, g2, match);
+  // relabel v3, insert v4, delete (u2,u3), insert (v3,v4) = 4 ops.
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_EQ(EditCostFromMatching(g1, g2, match), 4);
+}
+
+TEST(EditPathTest, IdenticalGraphsEmptyPath) {
+  Graph g(3, 1);
+  g.AddEdge(0, 1);
+  NodeMatching id = {0, 1, 2};
+  EXPECT_TRUE(EditPathFromMatching(g, g, id).empty());
+  EXPECT_EQ(EditCostFromMatching(g, g, id), 0);
+}
+
+TEST(EditPathTest, CostMatchesPathLength) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 7);
+    Graph g2 = AidsLikeGraph(&rng, 7, 9);
+    // Arbitrary (identity-prefix) matching.
+    NodeMatching match(g1.NumNodes());
+    for (int i = 0; i < g1.NumNodes(); ++i) match[i] = i;
+    auto path = EditPathFromMatching(g1, g2, match);
+    EXPECT_EQ(static_cast<int>(path.size()),
+              EditCostFromMatching(g1, g2, match));
+  }
+}
+
+TEST(EditPathTest, ApplyPathReconstructsG2) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 7);
+    Graph g2 = AidsLikeGraph(&rng, 7, 9);
+    NodeMatching match(g1.NumNodes());
+    for (int i = 0; i < g1.NumNodes(); ++i) match[i] = i;
+    auto path = EditPathFromMatching(g1, g2, match);
+    Graph result = ApplyEditPath(g1, g2, match, path);
+    EXPECT_TRUE(result == g2) << "trial " << trial;
+  }
+}
+
+TEST(EditPathTest, PathIntersection) {
+  std::vector<EditOp> p1 = {{EditOpType::kInsertEdge, 0, 1, 0},
+                            {EditOpType::kRelabelNode, 2, -1, 5}};
+  std::vector<EditOp> p2 = {{EditOpType::kRelabelNode, 2, -1, 5},
+                            {EditOpType::kDeleteEdge, 0, 1, 0}};
+  EXPECT_EQ(PathIntersectionSize(p1, p2), 1);
+  EXPECT_EQ(PathIntersectionSize(p1, p1), 2);
+  EXPECT_EQ(PathIntersectionSize({}, p2), 0);
+}
+
+TEST(EditPathTest, CouplingMatrixRoundTrip) {
+  NodeMatching m = {2, 0, 3};
+  Matrix pi = CouplingMatrixFromMatching(m, 4);
+  EXPECT_EQ(pi.rows(), 3);
+  EXPECT_EQ(pi.cols(), 4);
+  EXPECT_DOUBLE_EQ(pi.Sum(), 3.0);
+  EXPECT_EQ(MatchingFromCouplingMatrix(pi), m);
+}
+
+TEST(EditOpTest, ToStringCoversAllTypes) {
+  EditOp relabel = {EditOpType::kRelabelNode, 1, -1, 2};
+  EditOp ins_node = {EditOpType::kInsertNode, 1, -1, 2};
+  EditOp ins_edge = {EditOpType::kInsertEdge, 1, 2, 0};
+  EditOp del_edge = {EditOpType::kDeleteEdge, 1, 2, 0};
+  EXPECT_NE(relabel.ToString().find("relabel"), std::string::npos);
+  EXPECT_NE(ins_node.ToString().find("insert_node"), std::string::npos);
+  EXPECT_NE(ins_edge.ToString().find("insert_edge"), std::string::npos);
+  EXPECT_NE(del_edge.ToString().find("delete_edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace otged

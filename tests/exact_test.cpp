@@ -1,0 +1,169 @@
+#include "exact/astar.hpp"
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "heuristics/bipartite.hpp"
+
+namespace otged {
+namespace {
+
+TEST(AstarTest, IdenticalGraphsGiveZero) {
+  Rng rng(1);
+  Graph g = AidsLikeGraph(&rng, 4, 8);
+  auto res = AstarGed(g, g);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ged, 0);
+  EXPECT_TRUE(res->exact);
+}
+
+TEST(AstarTest, SingleRelabel) {
+  Graph g1(3, 0);
+  g1.AddEdge(0, 1);
+  g1.AddEdge(1, 2);
+  Graph g2 = g1;
+  g2.set_label(2, 5);
+  auto res = AstarGed(g1, g2);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ged, 1);
+}
+
+TEST(AstarTest, NodeInsertionCountsEdgeToo) {
+  Graph g1(2, 0);
+  g1.AddEdge(0, 1);
+  Graph g2(3, 0);
+  g2.AddEdge(0, 1);
+  g2.AddEdge(1, 2);
+  auto res = AstarGed(g1, g2);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ged, 2);  // insert node + insert edge
+}
+
+TEST(AstarTest, MatchingRealizesReportedGed) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 6);
+    Graph g2 = AidsLikeGraph(&rng, 6, 8);
+    auto res = AstarGed(g1, g2);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(EditCostFromMatching(g1, g2, res->matching), res->ged);
+  }
+}
+
+TEST(AstarTest, NeverExceedsSyntheticDelta) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 4, 7);
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 4);
+    opt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    if (pair.g2.NumNodes() > 8) continue;
+    auto res = AstarGed(pair.g1, pair.g2);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_LE(res->ged, pair.ged);     // Δ is an upper bound
+    EXPECT_GE(res->ged,
+              LabelSetLowerBound(pair.g1, pair.g2));  // admissible LB
+  }
+}
+
+TEST(AstarTest, RespectsExpansionBudget) {
+  Rng rng(4);
+  Graph g1 = ImdbLikeGraph(&rng, 9, 10);
+  Graph g2 = ImdbLikeGraph(&rng, 10, 12);
+  if (g1.NumNodes() > g2.NumNodes()) std::swap(g1, g2);
+  AstarOptions opt;
+  opt.max_expansions = 3;
+  auto res = AstarGed(g1, g2, opt);
+  // With such a tiny budget the search gives up (unless trivially done).
+  if (res.has_value()) {
+    EXPECT_LE(res->expansions, 4);
+  }
+}
+
+TEST(BeamTest, IsFeasibleUpperBound) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 6);
+    Graph g2 = AidsLikeGraph(&rng, 6, 8);
+    auto exact = AstarGed(g1, g2);
+    ASSERT_TRUE(exact.has_value());
+    GedSearchResult beam = BeamGed(g1, g2, 5);
+    EXPECT_GE(beam.ged, exact->ged);
+    EXPECT_EQ(EditCostFromMatching(g1, g2, beam.matching), beam.ged);
+  }
+}
+
+TEST(BeamTest, HugeBeamIsExhaustiveAndExact) {
+  // Beam quality is not monotone in the width (a wider beam can displace
+  // good states with optimistic dead-ends), but an exhaustive beam must
+  // recover the exact GED.
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 5);
+    Graph g2 = AidsLikeGraph(&rng, 5, 7);
+    auto exact = AstarGed(g1, g2);
+    ASSERT_TRUE(exact.has_value());
+    GedSearchResult beam = BeamGed(g1, g2, 1 << 20);
+    EXPECT_TRUE(beam.exact);
+    EXPECT_EQ(beam.ged, exact->ged);
+  }
+}
+
+TEST(BnbTest, AgreesWithAstar) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 6);
+    Graph g2 = AidsLikeGraph(&rng, 6, 8);
+    auto astar = AstarGed(g1, g2);
+    ASSERT_TRUE(astar.has_value());
+    GedSearchResult bnb = BranchAndBoundGed(g1, g2);
+    EXPECT_TRUE(bnb.exact);
+    EXPECT_EQ(bnb.ged, astar->ged) << "trial " << trial;
+  }
+}
+
+TEST(BnbTest, UpperBoundHintSpeedsSearch) {
+  Rng rng(8);
+  Graph g1 = LinuxLikeGraph(&rng, 7, 9);
+  Graph g2 = LinuxLikeGraph(&rng, 9, 10);
+  if (g1.NumNodes() > g2.NumNodes()) std::swap(g1, g2);
+  GedSearchResult base = BranchAndBoundGed(g1, g2);
+  BnbOptions opt;
+  opt.initial_upper_bound = base.ged;
+  GedSearchResult hinted = BranchAndBoundGed(g1, g2, opt);
+  EXPECT_EQ(hinted.ged, base.ged);
+  EXPECT_LE(hinted.expansions, base.expansions);
+}
+
+TEST(ExactPropertyTest, GedIsSymmetricUnderPairSwap) {
+  // GED(g1, g2) == GED(g2, g1); our API requires n1 <= n2 so we compare
+  // same-size pairs directly.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g1 = RandomConnectedGraph(6, 2, 4, &rng);
+    Graph g2 = RandomConnectedGraph(6, 3, 4, &rng);
+    auto a = AstarGed(g1, g2);
+    auto b = AstarGed(g2, g1);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->ged, b->ged);
+  }
+}
+
+TEST(ExactPropertyTest, PermutationInvariance) {
+  // GED(g, permute(g)) == 0.
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 4, 8);
+    std::vector<int> perm(g.NumNodes());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+    rng.Shuffle(&perm);
+    auto res = AstarGed(g, PermuteGraph(g, perm));
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->ged, 0);
+  }
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,119 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "editpath/edit_path.hpp"
+
+namespace otged {
+namespace {
+
+TEST(GeneratorTest, RandomConnectedGraphIsConnected) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = RandomConnectedGraph(8, 3, 5, &rng);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_TRUE(g.CheckInvariants());
+    EXPECT_EQ(g.NumNodes(), 8);
+    EXPECT_GE(g.NumEdges(), 7);
+    for (int v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_GE(g.label(v), 0);
+      EXPECT_LT(g.label(v), 5);
+    }
+  }
+}
+
+TEST(GeneratorTest, AidsLikeStatsMatchTable2Profile) {
+  Rng rng(2);
+  double nodes = 0, edges = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Graph g = AidsLikeGraph(&rng);
+    EXPECT_LE(g.NumNodes(), 10);
+    EXPECT_GE(g.NumNodes(), 2);
+    nodes += g.NumNodes();
+    edges += g.NumEdges();
+  }
+  // Paper Table 2: AIDS has ~8.9 nodes and ~8.8 edges per graph; our
+  // generator targets the same sparse regime (|E| within ~2x of |V|).
+  EXPECT_GT(nodes / n, 4.0);
+  EXPECT_LT(edges / n, 2.0 * nodes / n);
+}
+
+TEST(GeneratorTest, ImdbLikeIsDenser) {
+  Rng rng(3);
+  double nodes = 0, edges = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    Graph g = ImdbLikeGraph(&rng);
+    nodes += g.NumNodes();
+    edges += g.NumEdges();
+    EXPECT_TRUE(g.CheckInvariants());
+  }
+  // Ego-nets should be clearly denser than trees.
+  EXPECT_GT(edges / n, 1.5 * nodes / n);
+}
+
+TEST(GeneratorTest, PowerLawGraphHasHub) {
+  Rng rng(4);
+  Graph g = PowerLawGraph(100, 2, &rng);
+  EXPECT_EQ(g.NumNodes(), 100);
+  EXPECT_TRUE(g.CheckInvariants());
+  int max_deg = 0;
+  for (int v = 0; v < g.NumNodes(); ++v) max_deg = std::max(max_deg, g.Degree(v));
+  // Preferential attachment produces hubs far above the minimum degree.
+  EXPECT_GE(max_deg, 8);
+}
+
+TEST(GeneratorTest, PermuteGraphPreservesStructure) {
+  Rng rng(5);
+  Graph g = RandomConnectedGraph(6, 2, 3, &rng);
+  std::vector<int> perm = {3, 0, 5, 1, 4, 2};
+  Graph p = PermuteGraph(g, perm);
+  EXPECT_EQ(p.NumNodes(), g.NumNodes());
+  EXPECT_EQ(p.NumEdges(), g.NumEdges());
+  for (int u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(p.label(perm[u]), g.label(u));
+    for (int v : g.Neighbors(u)) EXPECT_TRUE(p.HasEdge(perm[u], perm[v]));
+  }
+}
+
+class SyntheticEditPairTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticEditPairTest, GroundTruthMatchingRealizesDelta) {
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 4, 9);
+    SyntheticEditOptions opt;
+    opt.num_edits = GetParam();
+    opt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    EXPECT_EQ(pair.ged, opt.num_edits);
+    EXPECT_LE(pair.g1.NumNodes(), pair.g2.NumNodes());
+    // The recorded matching must induce an edit path of exactly Δ ops
+    // (non-overlapping edits cannot cancel).
+    EXPECT_EQ(EditCostFromMatching(pair.g1, pair.g2, pair.gt_matching),
+              pair.ged);
+    // And the recorded path must be that path (as a multiset).
+    auto derived = EditPathFromMatching(pair.g1, pair.g2, pair.gt_matching);
+    EXPECT_EQ(static_cast<int>(derived.size()), pair.ged);
+    EXPECT_EQ(PathIntersectionSize(derived, pair.gt_path), pair.ged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, SyntheticEditPairTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SyntheticEditPairTest, UnlabeledGraphsNeverRelabel) {
+  Rng rng(7);
+  Graph g = LinuxLikeGraph(&rng);
+  SyntheticEditOptions opt;
+  opt.num_edits = 4;
+  opt.num_labels = 1;
+  opt.allow_relabel = false;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  for (const EditOp& op : pair.gt_path)
+    EXPECT_NE(op.type, EditOpType::kRelabelNode);
+}
+
+}  // namespace
+}  // namespace otged

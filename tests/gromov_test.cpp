@@ -1,0 +1,144 @@
+#include "ot/gromov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/random.hpp"
+#include "exact/astar.hpp"
+#include "graph/generator.hpp"
+#include "models/gedgw.hpp"
+
+namespace otged {
+namespace {
+
+// O(n^4) reference implementation of L(C1,C2) ⊗ pi.
+Matrix NaiveTensorProduct(const Matrix& c1, const Matrix& c2,
+                          const Matrix& pi) {
+  Matrix out(c1.rows(), c2.rows(), 0.0);
+  for (int i = 0; i < c1.rows(); ++i)
+    for (int k = 0; k < c2.rows(); ++k) {
+      double s = 0;
+      for (int j = 0; j < c1.rows(); ++j)
+        for (int l = 0; l < c2.rows(); ++l) {
+          double d = c1(i, j) - c2(k, l);
+          s += d * d * pi(j, l);
+        }
+      out(i, k) = s;
+    }
+  return out;
+}
+
+TEST(GwTensorTest, MatchesNaiveComputation) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = rng.UniformInt(2, 6);
+    Matrix c1(n, n), c2(n, n), pi(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j) {
+        c1(i, j) = c1(j, i) = rng.UniformInt(0, 1);
+        c2(i, j) = c2(j, i) = rng.UniformInt(0, 1);
+      }
+    for (int i = 0; i < pi.size(); ++i) pi[i] = rng.Uniform(0, 1);
+    Matrix fast = GwTensorProduct(c1, c2, pi);
+    Matrix naive = NaiveTensorProduct(c1, c2, pi);
+    EXPECT_LT(fast.MaxAbsDiff(naive), 1e-9);
+  }
+}
+
+TEST(GwObjectiveTest, ZeroForIsomorphicPermutation) {
+  Rng rng(2);
+  Graph g = RandomConnectedGraph(6, 3, 1, &rng);
+  std::vector<int> perm = {2, 4, 0, 5, 1, 3};
+  Graph h = PermuteGraph(g, perm);
+  Matrix pi(6, 6, 0.0);
+  for (int u = 0; u < 6; ++u) pi(u, perm[u]) = 1.0;
+  EXPECT_NEAR(GwObjective(g.AdjacencyMatrix(), h.AdjacencyMatrix(), pi), 0.0,
+              1e-12);
+}
+
+TEST(CgTest, ObjectiveDecreasesMonotonically) {
+  Rng rng(3);
+  Graph g1 = RandomConnectedGraph(7, 3, 3, &rng);
+  Graph g2 = RandomConnectedGraph(7, 5, 3, &rng);
+  Matrix m = GedgwSolver::NodeCostMatrix(g1, g2);
+  Matrix a1 = g1.AdjacencyMatrix(), a2 = g2.AdjacencyMatrix();
+  double prev = 1e300;
+  for (int iters : {1, 3, 10, 30}) {
+    CgOptions opt;
+    opt.max_iters = iters;
+    opt.tol = 0.0;
+    CgResult res = FusedGwConditionalGradient(m, a1, a2, 1.0, opt);
+    EXPECT_LE(res.objective, prev + 1e-9);
+    prev = res.objective;
+  }
+}
+
+TEST(CgTest, CouplingStaysDoublyStochastic) {
+  Rng rng(4);
+  Graph g1 = RandomConnectedGraph(6, 2, 1, &rng);
+  Graph g2 = RandomConnectedGraph(6, 4, 1, &rng);
+  CgResult res = FusedGwConditionalGradient(
+      GedgwSolver::NodeCostMatrix(g1, g2), g1.AdjacencyMatrix(),
+      g2.AdjacencyMatrix());
+  Matrix ones = Matrix::ColVec(6, 1.0);
+  EXPECT_LT(res.coupling.RowSums().MaxAbsDiff(ones), 1e-9);
+  EXPECT_LT(res.coupling.ColSums().Transpose().MaxAbsDiff(ones), 1e-9);
+  EXPECT_GE(res.coupling.Min(), -1e-12);
+}
+
+TEST(GedgwTest, ZeroOnIdenticalGraphs) {
+  Rng rng(5);
+  Graph g = AidsLikeGraph(&rng, 4, 8);
+  GedgwSolver solver;
+  Prediction p = solver.Predict(g, g);
+  EXPECT_NEAR(p.ged, 0.0, 1e-6);
+}
+
+TEST(GedgwTest, ReasonableOnSyntheticPairs) {
+  Rng rng(6);
+  GedgwSolver solver;
+  double total_err = 0;
+  int count = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 5, 9);
+    SyntheticEditOptions opt;
+    opt.num_edits = rng.UniformInt(1, 4);
+    opt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    Prediction p = solver.Predict(pair.g1, pair.g2);
+    total_err += std::abs(p.ged - pair.ged);
+    ++count;
+    // The CG objective evaluates a relaxation-then-rounded matching; it
+    // stays within a small constant of the true GED on these tiny pairs.
+    EXPECT_LT(std::abs(p.ged - pair.ged), 6.0);
+  }
+  EXPECT_LT(total_err / count, 2.0);
+}
+
+TEST(GedgwTest, CouplingSupportsPathGeneration) {
+  Rng rng(7);
+  Graph g = LinuxLikeGraph(&rng, 6, 9);
+  SyntheticEditOptions opt;
+  opt.num_edits = 3;
+  opt.num_labels = 1;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  GedgwSolver solver;
+  Prediction p = solver.Predict(pair.g1, pair.g2);
+  EXPECT_EQ(p.coupling.rows(), pair.g1.NumNodes());
+  EXPECT_EQ(p.coupling.cols(), pair.g2.NumNodes());
+  EXPECT_TRUE(p.coupling.AllFinite());
+}
+
+TEST(GedgwTest, NodeCostMatrixSemantics) {
+  Graph g1(1, 5);
+  Graph g2(2, 5);
+  g2.set_label(1, 7);
+  Matrix m = GedgwSolver::NodeCostMatrix(g1, g2);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);  // same label
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);  // relabel
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);  // dummy row: insertion cost
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,87 @@
+#include "heuristics/bipartite.hpp"
+
+#include "assignment/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/astar.hpp"
+#include "graph/generator.hpp"
+
+namespace otged {
+namespace {
+
+TEST(BipartiteCostTest, ShapeAndBlocks) {
+  Graph g1(2, 0);
+  g1.AddEdge(0, 1);
+  Graph g2(3, 0);
+  g2.AddEdge(0, 1);
+  Matrix c = BipartiteCostMatrix(g1, g2, false);
+  EXPECT_EQ(c.rows(), 5);
+  EXPECT_EQ(c.cols(), 5);
+  // Substitution of same-label same-degree nodes costs 0.
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.0);
+  // Deletion diagonal: 1 + deg/2.
+  EXPECT_DOUBLE_EQ(c(0, 3), 1.5);
+  // Deletion off-diagonal forbidden.
+  EXPECT_GE(c(0, 4), kAssignInf / 2);
+  // eps-eps block free.
+  EXPECT_DOUBLE_EQ(c(3, 3), 0.0);
+}
+
+class HeuristicUpperBoundTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HeuristicUpperBoundTest, AlwaysFeasibleUpperBound) {
+  auto [seed, num_labels] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g1 = RandomConnectedGraph(rng.UniformInt(3, 6),
+                                    rng.UniformInt(0, 2), num_labels, &rng);
+    Graph g2 = RandomConnectedGraph(rng.UniformInt(6, 8),
+                                    rng.UniformInt(0, 3), num_labels, &rng);
+    auto exact = AstarGed(g1, g2);
+    ASSERT_TRUE(exact.has_value());
+    for (const HeuristicResult& res :
+         {HungarianGed(g1, g2), VjGed(g1, g2), ClassicGed(g1, g2)}) {
+      EXPECT_GE(res.ged, exact->ged);
+      EXPECT_EQ(static_cast<int>(res.path.size()), res.ged);
+      // The path must transform g1 into g2.
+      Graph rebuilt = ApplyEditPath(g1, g2, res.matching, res.path);
+      EXPECT_TRUE(rebuilt == g2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, HeuristicUpperBoundTest,
+    ::testing::Values(std::make_tuple(1, 29), std::make_tuple(2, 1),
+                      std::make_tuple(3, 5), std::make_tuple(4, 2)));
+
+TEST(ClassicTest, NeverWorseThanEitherMember) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 3, 7);
+    Graph g2 = AidsLikeGraph(&rng, 7, 9);
+    int h = HungarianGed(g1, g2).ged;
+    int v = VjGed(g1, g2).ged;
+    int c = ClassicGed(g1, g2).ged;
+    EXPECT_EQ(c, std::min(h, v));
+  }
+}
+
+TEST(ClassicTest, ExactOnIdenticalGraphs) {
+  Rng rng(12);
+  Graph g = AidsLikeGraph(&rng, 5, 9);
+  EXPECT_EQ(ClassicGed(g, g).ged, 0);
+}
+
+TEST(ClassicTest, HandlesSingleNodeGraphs) {
+  Graph g1(1, 3);
+  Graph g2(2, 3);
+  g2.AddEdge(0, 1);
+  HeuristicResult res = ClassicGed(g1, g2);
+  EXPECT_EQ(res.ged, 2);  // insert node + insert edge
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,135 @@
+#include "assignment/kbest.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/random.hpp"
+#include "graph/generator.hpp"
+
+namespace otged {
+namespace {
+
+double WeightOf(const Matrix& w, const NodeMatching& m) {
+  double s = 0;
+  for (size_t i = 0; i < m.size(); ++i) s += w(static_cast<int>(i), m[i]);
+  return s;
+}
+
+// All matchings of an n1 x n2 weight matrix by brute force, sorted by
+// weight descending.
+std::vector<double> AllWeightsSorted(const Matrix& w) {
+  const int n1 = w.rows(), n2 = w.cols();
+  std::vector<int> cols(n2);
+  for (int j = 0; j < n2; ++j) cols[j] = j;
+  std::vector<double> weights;
+  std::sort(cols.begin(), cols.end());
+  do {
+    double s = 0;
+    for (int i = 0; i < n1; ++i) s += w(i, cols[i]);
+    weights.push_back(s);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  std::sort(weights.rbegin(), weights.rend());
+  // Deduplicate column choices beyond n1: the same first-n1 prefix appears
+  // (n2-n1)! times; collapsing by value is fine for weight comparison.
+  return weights;
+}
+
+TEST(KBestTest, FirstMatchingIsOptimal) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n1 = rng.UniformInt(2, 5), n2 = rng.UniformInt(n1, 6);
+    Matrix w(n1, n2);
+    for (int i = 0; i < w.size(); ++i) w[i] = rng.Uniform(0, 1);
+    auto matchings = KBestMatchings(w, 3);
+    ASSERT_FALSE(matchings.empty());
+    EXPECT_NEAR(WeightOf(w, matchings[0]), AllWeightsSorted(w)[0], 1e-9);
+  }
+}
+
+TEST(KBestTest, WeightsAreNonIncreasing) {
+  Rng rng(2);
+  Matrix w(4, 5);
+  for (int i = 0; i < w.size(); ++i) w[i] = rng.Uniform(0, 1);
+  auto matchings = KBestMatchings(w, 8);
+  for (size_t i = 1; i < matchings.size(); ++i) {
+    EXPECT_LE(WeightOf(w, matchings[i]), WeightOf(w, matchings[i - 1]) + 1e-9);
+  }
+}
+
+TEST(KBestTest, MatchingsAreDistinct) {
+  Rng rng(3);
+  Matrix w(3, 4);
+  for (int i = 0; i < w.size(); ++i) w[i] = rng.Uniform(0, 1);
+  auto matchings = KBestMatchings(w, 10);
+  std::set<NodeMatching> unique(matchings.begin(), matchings.end());
+  EXPECT_EQ(unique.size(), matchings.size());
+}
+
+TEST(KBestTest, ExhaustsSmallSpaces) {
+  // 2x2 has exactly 2 matchings; asking for 10 returns 2.
+  Matrix w = {{1.0, 0.5}, {0.2, 0.9}};
+  auto matchings = KBestMatchings(w, 10);
+  EXPECT_EQ(matchings.size(), 2u);
+}
+
+TEST(KBestGepTest, FindsGroundTruthOnSyntheticPairs) {
+  Rng rng(4);
+  int found = 0, total = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 4, 8);
+    SyntheticEditOptions opt;
+    opt.num_edits = 2;
+    opt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    // Feed the ground-truth coupling: k-best must recover a path no longer
+    // than the ground-truth length immediately.
+    Matrix pi =
+        CouplingMatrixFromMatching(pair.gt_matching, pair.g2.NumNodes());
+    GepResult res = KBestGepSearch(pair.g1, pair.g2, pi, 4);
+    EXPECT_LE(res.ged, pair.ged);
+    EXPECT_EQ(static_cast<int>(res.path.size()), res.ged);
+    ++total;
+    if (res.ged == pair.ged) ++found;
+  }
+  // Δ = 2 non-overlapping edits is almost always the true GED; allow a
+  // couple of pairs where k-best finds an even shorter path.
+  EXPECT_GE(found, total - 2);
+}
+
+TEST(KBestGepTest, LargerKNeverHurts) {
+  Rng rng(5);
+  Graph g = LinuxLikeGraph(&rng);
+  SyntheticEditOptions opt;
+  opt.num_edits = 4;
+  opt.num_labels = 1;
+  GedPair pair = SyntheticEditPair(g, opt, &rng);
+  // A noisy coupling (uniform): more partitions can only improve the path.
+  Matrix pi(pair.g1.NumNodes(), pair.g2.NumNodes(), 0.5);
+  int prev = -1;
+  for (int k : {1, 4, 16}) {
+    GepResult res = KBestGepSearch(pair.g1, pair.g2, pi, k);
+    if (prev >= 0) EXPECT_LE(res.ged, prev);
+    prev = res.ged;
+  }
+}
+
+TEST(KBestGepTest, ResultIsAlwaysFeasible) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = AidsLikeGraph(&rng, 3, 8);
+    SyntheticEditOptions opt;
+    opt.num_edits = 3;
+    opt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, opt, &rng);
+    Matrix pi(pair.g1.NumNodes(), pair.g2.NumNodes(), 1.0);
+    GepResult res = KBestGepSearch(pair.g1, pair.g2, pi, 4);
+    // Feasibility: applying the path yields G2 exactly.
+    Graph rebuilt = ApplyEditPath(pair.g1, pair.g2, res.matching, res.path);
+    EXPECT_TRUE(rebuilt == pair.g2);
+  }
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,128 @@
+#include "core/matrix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace otged {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(m[1], -2.0);  // row-major flat access
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityAndOnes) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0);
+  EXPECT_DOUBLE_EQ(Matrix::Ones(2, 2).Sum(), 4);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 6);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), -4);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6);
+  EXPECT_DOUBLE_EQ((-a)(0, 1), -2);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix b = {{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix c = a.MatMul(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(c.MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(t.Transpose().MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, HadamardAndDiv) {
+  Matrix a = {{2, 4}, {6, 8}};
+  Matrix b = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.Hadamard(b)(1, 1), 32);
+  EXPECT_DOUBLE_EQ(a.CwiseDiv(b)(1, 0), 2);
+}
+
+TEST(MatrixTest, CwiseDivClampsNearZero) {
+  Matrix a = {{1.0}};
+  Matrix b = {{0.0}};
+  Matrix r = a.CwiseDiv(b, 1e-6);
+  EXPECT_TRUE(std::isfinite(r(0, 0)));
+  EXPECT_DOUBLE_EQ(r(0, 0), 1e6);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.Sum(), 10);
+  EXPECT_DOUBLE_EQ(a.Min(), 1);
+  EXPECT_DOUBLE_EQ(a.Max(), 4);
+  EXPECT_DOUBLE_EQ(a.Dot(a), 30);
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), std::sqrt(30.0));
+  EXPECT_DOUBLE_EQ(a.RowSums()(0, 0), 3);
+  EXPECT_DOUBLE_EQ(a.ColSums()(0, 1), 6);
+}
+
+TEST(MatrixTest, SliceAndConcat) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix s = a.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3);
+  Matrix cc = a.ConcatCols(a);
+  EXPECT_EQ(cc.cols(), 4);
+  EXPECT_DOUBLE_EQ(cc(2, 3), 6);
+  Matrix cr = a.ConcatRows(a);
+  EXPECT_EQ(cr.rows(), 6);
+  EXPECT_DOUBLE_EQ(cr(5, 1), 6);
+}
+
+TEST(MatrixTest, ScaleRowsCols) {
+  Matrix a = Matrix::Ones(2, 2);
+  Matrix v = {{2}, {3}};
+  EXPECT_DOUBLE_EQ(a.ScaleRows(v)(1, 0), 3);
+  EXPECT_DOUBLE_EQ(a.ScaleCols(v)(0, 1), 3);
+}
+
+TEST(MatrixTest, AllFinite) {
+  Matrix a = {{1, 2}};
+  EXPECT_TRUE(a.AllFinite());
+  a(0, 0) = std::nan("");
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(MatrixTest, Map) {
+  Matrix a = {{1, 4}, {9, 16}};
+  Matrix r = a.Map([](double x) { return std::sqrt(x); });
+  EXPECT_DOUBLE_EQ(r(1, 1), 4);
+}
+
+}  // namespace
+}  // namespace otged

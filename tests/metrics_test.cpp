@@ -1,0 +1,80 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otged {
+namespace {
+
+TEST(ValueMetricsTest, MaeAccuracyFeasibility) {
+  std::vector<double> pred = {1.0, 2.4, 3.6, 5.0};
+  std::vector<int> gt = {1, 2, 3, 4};
+  EXPECT_NEAR(MeanAbsoluteError(pred, gt), (0 + 0.4 + 0.6 + 1.0) / 4, 1e-12);
+  EXPECT_NEAR(Accuracy(pred, gt), 0.5, 1e-12);  // 1.0 and 2.4 round right
+  EXPECT_NEAR(Feasibility(pred, gt), 1.0, 1e-12);
+  std::vector<double> under = {1.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(Feasibility(under, gt), 0.25, 1e-12);  // only 1.0 >= 1
+}
+
+TEST(SpearmanTest, PerfectAndReversed) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(SpearmanRho(a, b), 1.0, 1e-12);
+  std::vector<double> r = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(SpearmanRho(a, r), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> a = {1, 2, 2, 3};
+  std::vector<double> b = {1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanRho(a, b), 1.0, 1e-12);
+}
+
+TEST(KendallTest, KnownValue) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 3, 2};
+  // Pairs: (1,2)+(1,3) concordant, (2,3) discordant: tau = (2-1)/3.
+  EXPECT_NEAR(KendallTau(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, a), 1.0, 1e-12);
+}
+
+TEST(PrecisionAtKTest, TopKOverlap) {
+  std::vector<double> pred = {0.1, 0.9, 0.2, 0.8, 0.3, 0.7};
+  std::vector<int> gt = {1, 6, 2, 5, 3, 4};
+  // Top-3 smallest pred: indices {0,2,4}; top-3 gt: {0,2,4} -> 1.0.
+  EXPECT_NEAR(PrecisionAtK(pred, gt, 3), 1.0, 1e-12);
+  std::vector<double> bad = {0.9, 0.1, 0.8, 0.2, 0.7, 0.3};
+  EXPECT_NEAR(PrecisionAtK(bad, gt, 3), 0.0, 1e-12);
+}
+
+TEST(PrecisionAtKTest, KLargerThanNIsClamped) {
+  std::vector<double> pred = {2, 1};
+  std::vector<int> gt = {2, 1};
+  EXPECT_NEAR(PrecisionAtK(pred, gt, 10), 1.0, 1e-12);
+}
+
+TEST(PathQualityTest, OverlapScores) {
+  std::vector<EditOp> gt = {{EditOpType::kInsertEdge, 0, 1, 0},
+                            {EditOpType::kDeleteEdge, 1, 2, 0},
+                            {EditOpType::kRelabelNode, 3, -1, 4}};
+  std::vector<EditOp> pred = {{EditOpType::kInsertEdge, 0, 1, 0},
+                              {EditOpType::kRelabelNode, 3, -1, 4}};
+  PathQuality q = EvaluatePath(pred, gt);
+  EXPECT_NEAR(q.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.precision, 1.0, 1e-12);
+  EXPECT_NEAR(q.f1, 0.8, 1e-12);
+}
+
+TEST(PathQualityTest, EmptyPaths) {
+  PathQuality q = EvaluatePath({}, {});
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(TriangleTest, CountsViolations) {
+  std::vector<double> d12 = {1, 1};
+  std::vector<double> d23 = {1, 1};
+  std::vector<double> d13 = {1.5, 3.0};
+  EXPECT_NEAR(TriangleInequalityRate(d12, d23, d13), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace otged

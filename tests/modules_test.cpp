@@ -1,0 +1,233 @@
+#include "nn/modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "models/embedding_trunk.hpp"
+#include "ot/sinkhorn.hpp"
+
+namespace otged {
+namespace {
+
+TEST(LinearTest, ShapeAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng);
+  Tensor x(Matrix::Zeros(2, 4));
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  // With zero input, output equals the bias broadcast per row.
+  lin.bias.mutable_value()(0, 1) = 7.0;
+  y = lin.Forward(x);
+  EXPECT_DOUBLE_EQ(y.value()(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(y.value()(1, 1), 7.0);
+}
+
+TEST(MlpTest, DepthAndParams) {
+  Rng rng(2);
+  Mlp mlp({8, 16, 4}, &rng);
+  std::vector<Tensor> params;
+  mlp.CollectParams(&params);
+  EXPECT_EQ(params.size(), 4u);  // 2 layers x (W, b)
+  Tensor y = mlp.Forward(Tensor(Matrix::Ones(3, 8)));
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(GinLayerTest, AggregatesNeighbors) {
+  Rng rng(3);
+  GinLayer gin(1, 4, &rng);
+  // Path graph 0-1-2: node 1 sees two neighbors.
+  Graph g(3, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Tensor x(g.OneHotLabels(1));
+  Tensor h = gin.Forward(x, Tensor(g.AdjacencyMatrix()));
+  EXPECT_EQ(h.rows(), 3);
+  EXPECT_EQ(h.cols(), 4);
+  // Permutation equivariance: swapping 0 and 2 leaves node 1's embedding
+  // unchanged (same multiset of neighbors).
+  EXPECT_TRUE(h.value().AllFinite());
+}
+
+TEST(GinLayerTest, PermutationEquivariance) {
+  Rng rng(4);
+  GinLayer gin(1, 4, &rng);
+  Graph g = RandomConnectedGraph(5, 2, 1, &rng);
+  std::vector<int> perm = {4, 2, 0, 1, 3};
+  Graph p = PermuteGraph(g, perm);
+  Matrix hg =
+      gin.Forward(Tensor(g.OneHotLabels(1)), Tensor(g.AdjacencyMatrix()))
+          .value();
+  Matrix hp =
+      gin.Forward(Tensor(p.OneHotLabels(1)), Tensor(p.AdjacencyMatrix()))
+          .value();
+  for (int u = 0; u < 5; ++u)
+    for (int d = 0; d < 4; ++d)
+      EXPECT_NEAR(hg(u, d), hp(perm[u], d), 1e-12);
+}
+
+TEST(AttentionPoolingTest, OutputIsRowVector) {
+  Rng rng(5);
+  AttentionPooling pool(6, &rng);
+  Tensor h(GlorotInit(4, 6, &rng));
+  Tensor hg = pool.Forward(h);
+  EXPECT_EQ(hg.rows(), 1);
+  EXPECT_EQ(hg.cols(), 6);
+}
+
+TEST(AttentionPoolingTest, PermutationInvariance) {
+  Rng rng(6);
+  AttentionPooling pool(5, &rng);
+  Matrix hm = GlorotInit(4, 5, &rng);
+  Matrix hswap = hm;
+  for (int j = 0; j < 5; ++j) std::swap(hswap(0, j), hswap(3, j));
+  Matrix a = pool.Forward(Tensor(hm)).value();
+  Matrix b = pool.Forward(Tensor(hswap)).value();
+  EXPECT_LT(a.MaxAbsDiff(b), 1e-12);
+}
+
+TEST(NtnTest, OutputShapeAndNonnegativity) {
+  Rng rng(7);
+  Ntn ntn(6, 8, &rng);
+  Tensor a(GlorotInit(1, 6, &rng)), b(GlorotInit(1, 6, &rng));
+  Tensor s = ntn.Forward(a, b);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 8);
+  EXPECT_GE(s.value().Min(), 0.0);  // ReLU output
+}
+
+TEST(CostMatrixLayerTest, RangeAndAblation) {
+  Rng rng(8);
+  CostMatrixLayer layer(4, &rng);
+  Tensor h1(GlorotInit(3, 4, &rng)), h2(GlorotInit(5, 4, &rng));
+  Tensor c = layer.Forward(h1, h2);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_LE(c.value().Max(), 1.0);   // tanh range
+  EXPECT_GE(c.value().Min(), -1.0);
+  Tensor inner = layer.Forward(h1, h2, /*inner_product_only=*/true);
+  EXPECT_LT(inner.value().MaxAbsDiff(
+                h1.value().MatMul(h2.value().Transpose())),
+            1e-12);
+}
+
+TEST(SinkhornLayerTest, MatchesReferenceSolver) {
+  Rng rng(9);
+  Matrix cm(3, 5);
+  for (int i = 0; i < cm.size(); ++i) cm[i] = rng.Uniform(-1, 1);
+  SinkhornLayer layer(0.1, 40);
+  Matrix learned = layer.Forward(Tensor(cm)).value();
+  SinkhornOptions opt;
+  opt.epsilon = 0.1;
+  opt.max_iters = 40;
+  Matrix reference = SolveGedOt(cm, opt).coupling;
+  EXPECT_LT(learned.MaxAbsDiff(reference), 1e-6);
+}
+
+TEST(SinkhornLayerTest, RowMarginalsApproachOne) {
+  Rng rng(10);
+  Matrix cm(4, 6);
+  for (int i = 0; i < cm.size(); ++i) cm[i] = rng.Uniform(-1, 1);
+  SinkhornLayer layer(0.05, 30);
+  Matrix pi = layer.Forward(Tensor(cm)).value();
+  Matrix rs = pi.RowSums();
+  for (int i = 0; i < rs.rows(); ++i) EXPECT_NEAR(rs(i, 0), 1.0, 1e-3);
+}
+
+TEST(SinkhornLayerTest, FrozenEpsilonHasNoParams) {
+  SinkhornLayer frozen(0.05, 5, /*learnable=*/false);
+  std::vector<Tensor> params;
+  frozen.CollectParams(&params);
+  EXPECT_TRUE(params.empty());
+  SinkhornLayer learnable(0.05, 5, /*learnable=*/true);
+  learnable.CollectParams(&params);
+  EXPECT_EQ(params.size(), 1u);
+  EXPECT_NEAR(learnable.CurrentEpsilon(), 0.05, 1e-12);
+}
+
+TEST(EmbeddingTrunkTest, OutputDims) {
+  Rng rng(11);
+  TrunkConfig cfg;
+  cfg.num_labels = 3;
+  cfg.conv_dims = {8, 8};
+  cfg.out_dim = 4;
+  EmbeddingTrunk trunk(cfg, &rng);
+  Graph g = RandomConnectedGraph(5, 2, 3, &rng);
+  Tensor h = trunk.Embed(g);
+  EXPECT_EQ(h.rows(), 5);
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_EQ(trunk.OutDim(), 4);
+}
+
+TEST(EmbeddingTrunkTest, NoMlpAblationUsesLastConvDim) {
+  Rng rng(12);
+  TrunkConfig cfg;
+  cfg.num_labels = 1;
+  cfg.conv_dims = {8, 6};
+  cfg.use_final_mlp = false;
+  EmbeddingTrunk trunk(cfg, &rng);
+  Graph g = RandomConnectedGraph(4, 1, 1, &rng);
+  EXPECT_EQ(trunk.Embed(g).cols(), 6);
+  EXPECT_EQ(trunk.OutDim(), 6);
+}
+
+TEST(EmbeddingTrunkTest, GcnVariantRuns) {
+  Rng rng(13);
+  TrunkConfig cfg;
+  cfg.num_labels = 2;
+  cfg.use_gcn = true;
+  EmbeddingTrunk trunk(cfg, &rng);
+  Graph g = RandomConnectedGraph(6, 3, 2, &rng);
+  Tensor h = trunk.Embed(g);
+  EXPECT_TRUE(h.value().AllFinite());
+}
+
+TEST(NormalizedAdjacencyTest, RowSumsBounded) {
+  Rng rng(14);
+  Graph g = RandomConnectedGraph(5, 3, 1, &rng);
+  Matrix a = NormalizedAdjacency(g);
+  EXPECT_TRUE(a.AllFinite());
+  // Symmetric normalization keeps the spectral radius at 1.
+  EXPECT_LE(a.Max(), 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace otged
+
+namespace otged {
+namespace {
+
+TEST(NodeInputFeaturesTest, DegreeBucketsBreakSymmetry) {
+  Graph g(3, 0);        // unlabeled path: degrees 1, 2, 1
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TrunkConfig cfg;
+  cfg.num_labels = 1;
+  cfg.degree_features = true;
+  Matrix x = NodeInputFeatures(g, cfg);
+  EXPECT_EQ(x.cols(), 1 + kDegreeBuckets);
+  // Node 1 (degree 2) gets a different bucket than nodes 0/2 (degree 1).
+  bool differs = false;
+  for (int j = 0; j < x.cols(); ++j)
+    if (x(0, j) != x(1, j)) differs = true;
+  EXPECT_TRUE(differs);
+  // Without degree features the rows are identical.
+  cfg.degree_features = false;
+  Matrix plain = NodeInputFeatures(g, cfg);
+  EXPECT_EQ(plain.cols(), 1);
+  EXPECT_DOUBLE_EQ(plain(0, 0), plain(1, 0));
+}
+
+TEST(NodeInputFeaturesTest, BucketIsLogarithmic) {
+  Graph g(20, 0);
+  for (int v = 1; v < 20; ++v) g.AddEdge(0, v);  // star: center degree 19
+  TrunkConfig cfg;
+  cfg.num_labels = 1;
+  Matrix x = NodeInputFeatures(g, cfg);
+  // deg 19 -> bucket floor(log2(19)) + 1 = 5; leaf deg 1 -> bucket 1.
+  EXPECT_DOUBLE_EQ(x(0, 1 + 5), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 1 + 1), 1.0);
+}
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,121 @@
+#include "ot/sinkhorn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assignment/hungarian.hpp"
+#include "core/random.hpp"
+
+namespace otged {
+namespace {
+
+TEST(SinkhornTest, MarginalsAreRespected) {
+  Rng rng(1);
+  Matrix cost(4, 4);
+  for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(0, 2);
+  Matrix mu = Matrix::ColVec(4, 1.0);
+  Matrix nu = Matrix::ColVec(4, 1.0);
+  SinkhornOptions opt;
+  opt.epsilon = 0.5;  // moderate regularization converges geometrically
+  opt.max_iters = 2000;
+  SinkhornResult res = Sinkhorn(cost, mu, nu, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.coupling.RowSums().MaxAbsDiff(mu), 1e-6);
+  EXPECT_LT(res.coupling.ColSums().Transpose().MaxAbsDiff(nu), 1e-6);
+}
+
+TEST(SinkhornTest, SmallEpsilonApproachesExactAssignment) {
+  // With tiny regularization the entropic OT cost approaches the LAP
+  // optimum (log-domain for stability).
+  Rng rng(2);
+  Matrix cost(5, 5);
+  for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(0, 1);
+  double lap = SolveAssignment(cost).cost;
+  SinkhornOptions opt;
+  opt.epsilon = 0.002;
+  opt.max_iters = 4000;
+  opt.log_domain = true;
+  SinkhornResult res =
+      Sinkhorn(cost, Matrix::ColVec(5, 1.0), Matrix::ColVec(5, 1.0), opt);
+  EXPECT_NEAR(res.cost, lap, 0.05);
+}
+
+TEST(SinkhornTest, LogDomainMatchesPlainForModerateEps) {
+  Rng rng(3);
+  Matrix cost(6, 4);
+  for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(0, 3);
+  Matrix mu = Matrix::ColVec(6, 2.0 / 3.0);
+  Matrix nu = Matrix::ColVec(4, 1.0);
+  SinkhornOptions a;
+  a.epsilon = 0.2;
+  a.max_iters = 2000;
+  SinkhornOptions b = a;
+  b.log_domain = true;
+  Matrix pa = Sinkhorn(cost, mu, nu, a).coupling;
+  Matrix pb = Sinkhorn(cost, mu, nu, b).coupling;
+  EXPECT_LT(pa.MaxAbsDiff(pb), 1e-5);
+}
+
+TEST(SinkhornTest, LargerEpsilonMeansMoreEntropy) {
+  Matrix cost = {{0.0, 1.0}, {1.0, 0.0}};
+  Matrix mu = Matrix::ColVec(2, 1.0), nu = Matrix::ColVec(2, 1.0);
+  SinkhornOptions sharp, smooth;
+  sharp.epsilon = 0.05;
+  smooth.epsilon = 5.0;
+  sharp.max_iters = smooth.max_iters = 1000;
+  Matrix ps = Sinkhorn(cost, mu, nu, sharp).coupling;
+  Matrix pm = Sinkhorn(cost, mu, nu, smooth).coupling;
+  // Sharp coupling concentrates on the diagonal; smooth spreads to ~0.5.
+  EXPECT_GT(ps(0, 0), 0.95);
+  EXPECT_NEAR(pm(0, 0), 0.5, 0.1);
+}
+
+TEST(SolveGedOtTest, DummyRowAbsorbsExtraMass) {
+  // 2 x 4: two real nodes, dummy absorbs mass 2.
+  Matrix cost(2, 4, 1.0);
+  cost(0, 0) = 0.0;
+  cost(1, 1) = 0.0;
+  SinkhornOptions opt;
+  opt.max_iters = 500;
+  SinkhornResult res = SolveGedOt(cost, opt);
+  EXPECT_EQ(res.coupling.rows(), 2);
+  EXPECT_EQ(res.coupling.cols(), 4);
+  // Every real row still transports total mass 1.
+  Matrix rs = res.coupling.RowSums();
+  EXPECT_NEAR(rs(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(rs(1, 0), 1.0, 1e-6);
+  // And the cheap cells dominate their rows.
+  EXPECT_GT(res.coupling(0, 0), res.coupling(0, 1));
+  EXPECT_GT(res.coupling(1, 1), res.coupling(1, 0));
+}
+
+TEST(SolveGedOtTest, EqualSizesDegenerateDummy) {
+  Matrix cost = {{0.0, 1.0}, {1.0, 0.0}};
+  SinkhornOptions opt;
+  opt.max_iters = 500;
+  SinkhornResult res = SolveGedOt(cost, opt);
+  EXPECT_EQ(res.coupling.rows(), 2);
+  // Dummy mass is zero; real rows still sum to ~1.
+  EXPECT_NEAR(res.coupling.RowSums()(0, 0), 1.0, 1e-5);
+  EXPECT_GT(res.coupling(0, 0), 0.9);
+}
+
+class SinkhornEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SinkhornEpsSweep, CouplingStaysFiniteAndFeasible) {
+  Rng rng(4);
+  Matrix cost(5, 7);
+  for (int i = 0; i < cost.size(); ++i) cost[i] = rng.Uniform(-1, 1);
+  SinkhornOptions opt;
+  opt.epsilon = GetParam();
+  opt.max_iters = 300;
+  opt.log_domain = GetParam() < 0.01;
+  SinkhornResult res = SolveGedOt(cost, opt);
+  EXPECT_TRUE(res.coupling.AllFinite());
+  EXPECT_GE(res.coupling.Min(), -1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsRange, SinkhornEpsSweep,
+                         ::testing::Values(0.005, 0.01, 0.05, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace otged

@@ -1,0 +1,185 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/random.hpp"
+
+namespace otged {
+namespace {
+
+// Numeric gradient check: perturbs each entry of `param` and compares the
+// finite difference of `scalar_fn` with the autograd gradient.
+void CheckGradient(Tensor param, const std::function<Tensor()>& scalar_fn,
+                   double h = 1e-6, double tol = 1e-4) {
+  Tensor loss = scalar_fn();
+  param.ZeroGrad();
+  loss = scalar_fn();
+  loss.Backward();
+  Matrix analytic = param.grad();
+  ASSERT_FALSE(analytic.empty());
+  for (int i = 0; i < param.mutable_value().size(); ++i) {
+    double orig = param.mutable_value()[i];
+    param.mutable_value()[i] = orig + h;
+    double up = scalar_fn().item();
+    param.mutable_value()[i] = orig - h;
+    double down = scalar_fn().item();
+    param.mutable_value()[i] = orig;
+    double numeric = (up - down) / (2 * h);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "entry " << i;
+  }
+}
+
+Matrix RandMat(int r, int c, Rng* rng) {
+  Matrix m(r, c);
+  for (int i = 0; i < m.size(); ++i) m[i] = rng->Uniform(-1, 1);
+  return m;
+}
+
+TEST(TensorTest, AddSubGradients) {
+  Rng rng(1);
+  Tensor a(RandMat(2, 3, &rng), true);
+  Tensor b(RandMat(2, 3, &rng), true);
+  CheckGradient(a, [&] { return Sum(Sub(Add(a, b), b)); });
+}
+
+TEST(TensorTest, MatMulGradient) {
+  Rng rng(2);
+  Tensor a(RandMat(3, 4, &rng), true);
+  Tensor b(RandMat(4, 2, &rng), true);
+  CheckGradient(a, [&] { return Sum(MatMul(a, b)); });
+  CheckGradient(b, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST(TensorTest, HadamardAndDivGradients) {
+  Rng rng(3);
+  Tensor a(RandMat(2, 2, &rng), true);
+  Matrix bm = RandMat(2, 2, &rng);
+  for (int i = 0; i < bm.size(); ++i) bm[i] = 2.0 + std::abs(bm[i]);
+  Tensor b(bm, true);
+  CheckGradient(a, [&] { return Sum(Hadamard(a, b)); });
+  CheckGradient(a, [&] { return Sum(CwiseDiv(a, b)); });
+  CheckGradient(b, [&] { return Sum(CwiseDiv(a, b)); });
+}
+
+TEST(TensorTest, NonlinearityGradients) {
+  Rng rng(4);
+  Tensor a(RandMat(3, 3, &rng), true);
+  CheckGradient(a, [&] { return Sum(TanhT(a)); });
+  CheckGradient(a, [&] { return Sum(Sigmoid(a)); });
+  CheckGradient(a, [&] { return Sum(ExpT(a)); });
+}
+
+TEST(TensorTest, ReluGradientAwayFromKink) {
+  Matrix m = {{0.5, -0.5}, {1.5, -2.0}};
+  Tensor a(m, true);
+  CheckGradient(a, [&] { return Sum(Relu(a)); });
+}
+
+TEST(TensorTest, ShapeOpGradients) {
+  Rng rng(5);
+  Tensor a(RandMat(3, 2, &rng), true);
+  Tensor b(RandMat(3, 2, &rng), true);
+  CheckGradient(a, [&] { return Sum(ConcatCols(a, b)); });
+  CheckGradient(a, [&] { return Sum(ConcatRows(a, b)); });
+  CheckGradient(a, [&] { return Sum(SliceRows(ConcatRows(a, b), 1, 4)); });
+  CheckGradient(a, [&] { return Sum(Transpose(a)); });
+}
+
+TEST(TensorTest, ReductionGradients) {
+  Rng rng(6);
+  Tensor a(RandMat(4, 3, &rng), true);
+  Tensor b(RandMat(4, 3, &rng), true);
+  CheckGradient(a, [&] { return Dot(a, b); });
+  CheckGradient(a, [&] { return Sum(RowMean(a)); });
+}
+
+TEST(TensorTest, ScaleScalarGradients) {
+  Rng rng(7);
+  Tensor a(RandMat(2, 2, &rng), true);
+  Tensor s(Matrix(1, 1, 0.7), true);
+  CheckGradient(a, [&] { return Sum(ScaleScalar(a, s)); });
+  CheckGradient(s, [&] { return Sum(ScaleScalar(a, s)); });
+  CheckGradient(s, [&] { return Sum(ScaleOnePlus(a, s)); });
+}
+
+TEST(TensorTest, KernelExpGradients) {
+  Rng rng(8);
+  Matrix cm = RandMat(3, 4, &rng);
+  for (int i = 0; i < cm.size(); ++i) cm[i] = std::abs(cm[i]);
+  Tensor c(cm, true);
+  Tensor log_eps(Matrix(1, 1, std::log(0.5)), true);
+  CheckGradient(c, [&] { return Sum(KernelExp(c, log_eps)); });
+  CheckGradient(log_eps, [&] { return Sum(KernelExp(c, log_eps)); });
+}
+
+TEST(TensorTest, LossGradients) {
+  Rng rng(9);
+  Matrix pm(2, 3);
+  for (int i = 0; i < pm.size(); ++i) pm[i] = rng.Uniform(0.2, 0.8);
+  Tensor p(pm, true);
+  Matrix target(2, 3);
+  for (int i = 0; i < target.size(); ++i) target[i] = rng.Bernoulli(0.5);
+  CheckGradient(p, [&] { return BceLoss(p, target); });
+
+  Tensor s(Matrix(1, 1, 0.3), true);
+  CheckGradient(s, [&] { return MseLoss(s, 0.8); });
+}
+
+TEST(TensorTest, ChainedExpressionGradient) {
+  // A GEDIOT-like chain: sigmoid(<tanh(A W B^T), softratio>) etc.
+  Rng rng(10);
+  Tensor a(RandMat(3, 4, &rng), true);
+  Tensor w(RandMat(4, 4, &rng), true);
+  Tensor b(RandMat(5, 4, &rng), true);
+  auto fn = [&] {
+    Tensor cost = TanhT(MatMul(MatMul(a, w), Transpose(b)));
+    return MseLoss(Sigmoid(Sum(cost)), 0.25);
+  };
+  CheckGradient(w, fn);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a(Matrix(1, 1, 2.0), true);
+  Sum(a).Backward();
+  Sum(a).Backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+  a.ZeroGrad();
+  EXPECT_TRUE(a.grad().empty());
+}
+
+TEST(TensorTest, DiamondDependencyGradient) {
+  // y = x * x via two paths sharing one node: dy/dx = 2x.
+  Tensor x(Matrix(1, 1, 3.0), true);
+  Tensor y = Dot(x, x);
+  y.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 6.0);
+}
+
+TEST(TensorTest, UnrolledSinkhornIterationGradient) {
+  // Mini Sinkhorn chain: grads must flow through CwiseDiv/MatMul loops.
+  Rng rng(11);
+  Matrix cm(3, 3);
+  for (int i = 0; i < cm.size(); ++i) cm[i] = rng.Uniform(0, 1);
+  Tensor c(cm, true);
+  Tensor log_eps(Matrix(1, 1, std::log(0.3)), true);
+  auto fn = [&] {
+    Tensor k = KernelExp(c, log_eps);
+    Tensor mu(Matrix::ColVec(3, 1.0)), nu(Matrix::ColVec(3, 1.0));
+    Tensor phi(Matrix::ColVec(3, 1.0));
+    Tensor psi;
+    for (int it = 0; it < 3; ++it) {
+      psi = CwiseDiv(nu, MatMul(Transpose(k), phi));
+      phi = CwiseDiv(mu, MatMul(k, psi));
+    }
+    Tensor pi = Hadamard(k, MatMul(phi, Transpose(psi)));
+    return Dot(c, pi);
+  };
+  CheckGradient(c, fn, 1e-6, 1e-3);
+  CheckGradient(log_eps, fn, 1e-6, 1e-3);
+}
+
+}  // namespace
+}  // namespace otged
