@@ -1,13 +1,16 @@
 /// \file molecule_screening.cpp
 /// \brief Antiviral-screening flavored demo (the AIDS dataset's origin):
 /// given a reference compound graph, flag database compounds whose edit
-/// distance is within a threshold — using the *unsupervised* GEDGW solver
-/// plus a k-best edit-path certificate for every hit, so a chemist can see
-/// exactly which bonds/atoms differ. No training data needed.
+/// distance is within a threshold. The screening itself is a single range
+/// query against the filter–verify QueryEngine — cheap invariant bounds
+/// dismiss unrelated molecules before any solver runs — and every hit
+/// then gets a k-best edit-path certificate so a chemist can see exactly
+/// which bonds/atoms differ. No training data needed.
 #include <cstdio>
 
 #include "assignment/kbest.hpp"
 #include "models/gedgw.hpp"
+#include "search/query_engine.hpp"
 
 using namespace otged;
 
@@ -17,40 +20,50 @@ int main() {
   // Reference "compound" and a screening library of 40 molecules: half
   // are near-misses (few edits), half are unrelated molecules.
   Graph reference = AidsLikeGraph(&rng, 7, 10);
-  struct Candidate {
-    Graph mol;
-    bool related;
-  };
-  std::vector<Candidate> library;
+  GraphStore store;
+  std::vector<bool> related;
   for (int i = 0; i < 20; ++i) {
     SyntheticEditOptions opt;
     opt.num_edits = rng.UniformInt(1, 3);
     opt.num_labels = 29;
-    library.push_back({SyntheticEditPair(reference, opt, &rng).g2, true});
+    store.Add(SyntheticEditPair(reference, opt, &rng).g2);
+    related.push_back(true);
   }
   for (int i = 0; i < 20; ++i) {
-    library.push_back({AidsLikeGraph(&rng, 7, 10), false});
+    store.Add(AidsLikeGraph(&rng, 7, 10));
+    related.push_back(false);
   }
 
-  const double threshold = 4.0;
+  const int threshold = 4;
+  QueryEngine engine(&store, {});
+  std::printf("Screening %d compounds against the reference (GED <= %d):\n",
+              store.Size(), threshold);
+  RangeResult res = engine.Range(reference, threshold);
+
   GedgwSolver solver;
-  int hits = 0, true_hits = 0;
-  std::printf("Screening %zu compounds against the reference (GED <= %.0f):\n",
-              library.size(), threshold);
-  for (size_t i = 0; i < library.size(); ++i) {
-    const Graph& mol = library[i].mol;
-    const Graph& g1 = reference.NumNodes() <= mol.NumNodes() ? reference : mol;
-    const Graph& g2 = reference.NumNodes() <= mol.NumNodes() ? mol : reference;
-    Prediction p = solver.Predict(g1, g2);
-    if (p.ged > threshold) continue;
-    ++hits;
-    if (library[i].related) ++true_hits;
-    // Certificate: a concrete edit path of that length (k-best matching).
-    GepResult cert = KBestGepSearch(g1, g2, p.coupling, /*k=*/12);
-    std::printf("  compound %2zu: GED~%.1f, certificate path %d ops%s\n", i,
-                p.ged, cert.ged, library[i].related ? "" : "  [decoy]");
+  int true_hits = 0;
+  for (const RangeHit& h : res.hits) {
+    if (related[h.id]) ++true_hits;
+    // Certificate: a concrete edit path of that length (k-best matching
+    // over the GEDGW coupling).
+    auto [g1, g2] = OrderBySize(reference, store.graph(h.id));
+    GepResult cert = KBestGepSearch(*g1, *g2, solver.Predict(*g1, *g2).coupling,
+                                    /*k=*/12);
+    std::printf("  compound %2d: GED%s%d, certificate path %d ops%s\n", h.id,
+                h.exact_distance ? " = " : " <= ", h.ged, cert.ged,
+                related[h.id] ? "" : "  [decoy]");
   }
-  std::printf("\n%d hits, %d of which are true near-misses (precision %.0f%%)\n",
-              hits, true_hits, hits ? 100.0 * true_hits / hits : 0.0);
+
+  const CascadeStats& c = res.stats.cascade;
+  std::printf(
+      "\n%zu hits, %d of which are true near-misses (precision %.0f%%)\n",
+      res.hits.size(), true_hits,
+      res.hits.empty() ? 0.0 : 100.0 * true_hits / res.hits.size());
+  std::printf(
+      "cascade pruned %ld/%ld candidates before any solver ran "
+      "(%.0f%%), %ld OT calls, %ld exact calls, %.2f ms\n",
+      c.pruned_invariant + c.pruned_branch, c.candidates,
+      100.0 * c.PrunedBeforeSolvers(), c.ot_calls, c.exact_calls,
+      res.stats.wall_ms);
   return 0;
 }

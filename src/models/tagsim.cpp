@@ -35,6 +35,7 @@ std::array<int, 4> TagsimModel::TypeCounts(const std::vector<EditOp>& path) {
         counts[2]++;
         break;
       case EditOpType::kDeleteEdge:
+      case EditOpType::kRelabelEdge:
         counts[3]++;
         break;
     }

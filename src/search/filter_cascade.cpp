@@ -1,0 +1,142 @@
+#include "search/filter_cascade.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "assignment/kbest.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "heuristics/bipartite.hpp"
+#include "heuristics/lower_bounds.hpp"
+#include "models/gedgw.hpp"
+
+namespace otged {
+
+void CascadeStats::Merge(const CascadeStats& o) {
+  candidates += o.candidates;
+  pruned_invariant += o.pruned_invariant;
+  pruned_branch += o.pruned_branch;
+  decided_heuristic += o.decided_heuristic;
+  decided_ot += o.decided_ot;
+  decided_exact += o.decided_exact;
+  ot_calls += o.ot_calls;
+  exact_calls += o.exact_calls;
+  exact_incomplete += o.exact_incomplete;
+}
+
+double CascadeStats::PrunedBeforeSolvers() const {
+  if (candidates == 0) return 0.0;
+  return static_cast<double>(pruned_invariant + pruned_branch) / candidates;
+}
+
+FilterCascade::FilterCascade(const GraphStore* store,
+                             const CascadeOptions& opt)
+    : store_(store), opt_(opt) {
+  OTGED_CHECK(store_ != nullptr);
+}
+
+CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
+                                              const GraphInvariants& qi,
+                                              int id, int tau,
+                                              bool need_distance,
+                                              CascadeStats* stats) const {
+  OTGED_DCHECK(stats != nullptr);
+  stats->candidates++;
+  CascadeVerdict v;
+  const Graph& g = store_->graph(id);
+  const GraphInvariants& gi = store_->invariants(id);
+
+  // --- tier 0: invariants only, no adjacency access --------------------
+  int lb = InvariantLowerBound(qi, gi);
+  if (lb > tau) {
+    stats->pruned_invariant++;
+    v.tier = CascadeTier::kInvariant;
+    return v;
+  }
+  if (lb == 0 && qi.wl_hash == gi.wl_hash && query == g) {
+    // Identity fast path (node-identity equality implies GED == 0).
+    v.within = true;
+    v.ged = 0;
+    v.exact_distance = true;
+    v.tier = CascadeTier::kInvariant;
+    return v;
+  }
+
+  auto [g1, g2] = OrderBySize(query, g);
+
+  // --- tier 1: BRANCH bipartite lower bound ----------------------------
+  if (opt_.use_branch_bound) {
+    lb = std::max(lb, static_cast<int>(
+                          std::ceil(BranchLowerBound(*g1, *g2) - 1e-9)));
+    if (lb > tau) {
+      stats->pruned_branch++;
+      v.tier = CascadeTier::kBranch;
+      return v;
+    }
+  }
+
+  // --- tier 2: Classic heuristic upper bound ---------------------------
+  int ub = ClassicGed(*g1, *g2).ged;
+  if (lb == ub) {
+    // Certificate: admissible LB meets feasible UB, distance is exact.
+    stats->decided_heuristic++;
+    v.within = ub <= tau;
+    v.ged = ub;
+    v.exact_distance = true;
+    v.tier = CascadeTier::kHeuristic;
+    return v;
+  }
+  if (!need_distance && ub <= tau) {
+    // The feasible edit path already witnesses membership.
+    stats->decided_heuristic++;
+    v.within = true;
+    v.ged = ub;
+    v.tier = CascadeTier::kHeuristic;
+    return v;
+  }
+
+  // --- tier 3: OT verify (GEDGW coupling -> k-best edit path) ----------
+  if (opt_.use_ot_verify) {
+    stats->ot_calls++;
+    GedgwConfig gw_cfg;
+    gw_cfg.cg_iters = opt_.gw_iters;
+    GedgwSolver gw(gw_cfg);
+    Prediction pred = gw.Predict(*g1, *g2);
+    GepResult gep = KBestGepSearch(*g1, *g2, pred.coupling, opt_.kbest_k);
+    ub = std::min(ub, gep.ged);
+    if (lb == ub) {
+      stats->decided_ot++;
+      v.within = ub <= tau;
+      v.ged = ub;
+      v.exact_distance = true;
+      v.tier = CascadeTier::kOt;
+      return v;
+    }
+    if (!need_distance && ub <= tau) {
+      stats->decided_ot++;
+      v.within = true;
+      v.ged = ub;
+      v.tier = CascadeTier::kOt;
+      return v;
+    }
+  }
+
+  // --- tier 4: exact verify (branch and bound, seeded with best UB) ----
+  stats->exact_calls++;
+  BnbOptions bnb;
+  bnb.max_visits = opt_.exact_budget;
+  bnb.initial_upper_bound = ub;
+  GedSearchResult exact = BranchAndBoundGed(*g1, *g2, bnb);
+  if (!exact.exact) stats->exact_incomplete++;
+  stats->decided_exact++;
+  // On budget exhaustion `exact.ged` is only a feasible upper bound; the
+  // only valid dismissal evidence is an admissible LB > tau, and here
+  // lb <= tau. Keep the candidate (no false dismissals, ever) and flag
+  // the distance as unproven.
+  v.within = exact.ged <= tau || !exact.exact;
+  v.ged = exact.ged;
+  v.exact_distance = exact.exact;
+  v.tier = CascadeTier::kExact;
+  return v;
+}
+
+}  // namespace otged

@@ -1,0 +1,104 @@
+/// \file filter_cascade.hpp
+/// \brief The filter–verify decision procedure behind the search engine.
+///
+/// A candidate pair (query, stored graph) escalates through tiers of
+/// increasing cost until its GED relative to a threshold is decided:
+///
+///   tier 0  invariant bound     O(n)       label-multiset (Eq. 22) and
+///                                          degree-sequence lower bounds
+///                                          from GraphStore invariants
+///   tier 1  BRANCH bound        O(n^3)     bipartite assignment LB
+///   tier 2  heuristic verify    O(n^3)     Classic (Hungarian+VJ) upper
+///                                          bound; LB == UB certifies
+///   tier 3  OT verify           O(I n^3)   GEDGW conditional gradient +
+///                                          k-best edit-path upper bound
+///   tier 4  exact verify        exp(n)     branch-and-bound, seeded with
+///                                          the best upper bound
+///
+/// Lower bounds are admissible and upper bounds are witnessed by feasible
+/// edit paths, so a range decision (`GED <= tau`?) made at any tier equals
+/// the brute-force answer: no false dismissals, no false hits. The one
+/// exception is an exact-tier budget exhaustion, where the pair is kept
+/// conservatively (still no false dismissals) and flagged as unproven.
+#ifndef OTGED_SEARCH_FILTER_CASCADE_HPP_
+#define OTGED_SEARCH_FILTER_CASCADE_HPP_
+
+#include <optional>
+
+#include "search/graph_store.hpp"
+
+namespace otged {
+
+struct CascadeOptions {
+  bool use_branch_bound = true;  ///< enable the tier-1 bipartite LB
+  bool use_ot_verify = true;     ///< enable the tier-3 GEDGW refinement
+  int kbest_k = 8;               ///< path-search width for the OT tier
+  int gw_iters = 20;             ///< conditional-gradient iterations
+  long exact_budget = 20'000'000;  ///< tier-4 branch-and-bound visit budget
+};
+
+/// Where in the cascade a candidate's fate was decided (statistics only).
+enum class CascadeTier : int {
+  kInvariant = 0,
+  kBranch = 1,
+  kHeuristic = 2,
+  kOt = 3,
+  kExact = 4,
+};
+
+/// Per-run filter statistics; totals over many candidates are obtained by
+/// Merge, which is associative and commutative, so parallel accumulation
+/// into per-worker buffers stays deterministic.
+struct CascadeStats {
+  long candidates = 0;        ///< pairs fed into the cascade
+  long pruned_invariant = 0;  ///< dismissed by tier 0 alone
+  long pruned_branch = 0;     ///< dismissed by the tier-1 LB
+  long decided_heuristic = 0; ///< decided by the tier-2 UB (incl. LB==UB)
+  long decided_ot = 0;        ///< decided by the tier-3 OT bound
+  long decided_exact = 0;     ///< needed the exact solver
+  long ot_calls = 0;          ///< GEDGW invocations
+  long exact_calls = 0;       ///< branch-and-bound invocations
+  long exact_incomplete = 0;  ///< exact runs that exhausted their budget
+
+  void Merge(const CascadeStats& o);
+  /// Fraction of candidates dismissed before any OT or exact solver ran.
+  double PrunedBeforeSolvers() const;
+};
+
+/// Outcome of a bounded-distance evaluation.
+struct CascadeVerdict {
+  bool within = false;  ///< GED(q, g) <= tau
+  int ged = -1;         ///< best distance known (-1 if dismissed by a LB)
+  bool exact_distance = false;  ///< `ged` is provably the exact GED
+  CascadeTier tier = CascadeTier::kInvariant;  ///< deciding tier
+};
+
+/// Stateless (after construction) decision procedure over one GraphStore;
+/// safe to share across threads.
+class FilterCascade {
+ public:
+  explicit FilterCascade(const GraphStore* store,
+                         const CascadeOptions& opt = {});
+
+  /// Decides whether GED(query, store[id]) <= tau, escalating only as far
+  /// as needed. With `need_distance`, membership alone never settles a
+  /// candidate: the cascade continues (through the exact tier if the
+  /// bounds disagree) until `ged` is the exact distance — top-k ranking
+  /// needs this; range queries do not. `qi` must be
+  /// ComputeInvariants(query).
+  CascadeVerdict BoundedDistance(const Graph& query,
+                                 const GraphInvariants& qi, int id, int tau,
+                                 bool need_distance,
+                                 CascadeStats* stats) const;
+
+  const CascadeOptions& options() const { return opt_; }
+  const GraphStore& store() const { return *store_; }
+
+ private:
+  const GraphStore* store_;
+  CascadeOptions opt_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_FILTER_CASCADE_HPP_

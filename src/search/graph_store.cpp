@@ -1,0 +1,88 @@
+#include "search/graph_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "graph/wl_hash.hpp"
+
+namespace otged {
+
+GraphInvariants ComputeInvariants(const Graph& g) {
+  GraphInvariants inv;
+  inv.num_nodes = g.NumNodes();
+  inv.num_edges = g.NumEdges();
+  inv.wl_hash = WlHash(g);
+  inv.sorted_labels.reserve(g.NumNodes());
+  inv.sorted_degrees.reserve(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    inv.sorted_labels.push_back(g.label(v));
+    inv.sorted_degrees.push_back(g.Degree(v));
+  }
+  std::sort(inv.sorted_labels.begin(), inv.sorted_labels.end());
+  std::sort(inv.sorted_degrees.begin(), inv.sorted_degrees.end());
+  return inv;
+}
+
+namespace {
+
+/// Multiset symmetric-difference accounting of Eq. (22) over two sorted
+/// label vectors: a relabel fixes one surplus and one deficit label, an
+/// insertion fixes one, so node ops >= max(surplus, deficit).
+int LabelMultisetNodeBound(const std::vector<Label>& a,
+                           const std::vector<Label>& b) {
+  size_t i = 0, j = 0;
+  int surplus = 0, deficit = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i, ++j;
+    } else if (a[i] < b[j]) {
+      ++surplus, ++i;
+    } else {
+      ++deficit, ++j;
+    }
+  }
+  surplus += static_cast<int>(a.size() - i);
+  deficit += static_cast<int>(b.size() - j);
+  return std::max(surplus, deficit);
+}
+
+/// L1 distance between the two ascending degree sequences, zero-padded to
+/// equal length. Ascending index-by-index pairing minimizes the L1 sum
+/// over all pairings (rearrangement inequality), and each edge edit
+/// changes exactly two degrees by one, so edge edits >= ceil(L1 / 2).
+int DegreeSequenceEdgeBound(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  long l1 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Zero-pad at the *front* of the shorter (ascending) sequence.
+    const size_t pad_a = n - a.size(), pad_b = n - b.size();
+    int da = i < pad_a ? 0 : a[i - pad_a];
+    int db = i < pad_b ? 0 : b[i - pad_b];
+    l1 += std::abs(da - db);
+  }
+  return static_cast<int>((l1 + 1) / 2);
+}
+
+}  // namespace
+
+int InvariantLowerBound(const GraphInvariants& a, const GraphInvariants& b) {
+  int label_bound = LabelMultisetNodeBound(a.sorted_labels, b.sorted_labels) +
+                    std::abs(a.num_edges - b.num_edges);
+  int degree_bound = DegreeSequenceEdgeBound(a.sorted_degrees,
+                                             b.sorted_degrees);
+  return std::max(label_bound, degree_bound);
+}
+
+int GraphStore::Add(Graph g) {
+  invariants_.push_back(ComputeInvariants(g));
+  graphs_.push_back(std::move(g));
+  return Size() - 1;
+}
+
+void GraphStore::AddAll(const std::vector<Graph>& graphs) {
+  for (const Graph& g : graphs) Add(g);
+}
+
+}  // namespace otged

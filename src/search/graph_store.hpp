@@ -1,0 +1,75 @@
+/// \file graph_store.hpp
+/// \brief Indexed graph corpus for similarity search: owns the graphs of a
+/// database and precomputes, per graph, the cheap isomorphism invariants
+/// the filter cascade consumes (WL hash, sorted node-label multiset,
+/// sorted degree sequence, node/edge counts). Invariants are computed once
+/// at ingest, so a filter evaluation against a stored graph touches no
+/// adjacency structure until the bipartite tier.
+#ifndef OTGED_SEARCH_GRAPH_STORE_HPP_
+#define OTGED_SEARCH_GRAPH_STORE_HPP_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "graph/graph.hpp"
+
+namespace otged {
+
+/// Per-graph invariants. Equal invariants are necessary (not sufficient)
+/// for GED == 0; differences yield admissible GED lower bounds.
+struct GraphInvariants {
+  int num_nodes = 0;
+  int num_edges = 0;
+  uint64_t wl_hash = 0;                ///< 3-round WL color-refinement hash
+  std::vector<Label> sorted_labels;    ///< node-label multiset, ascending
+  std::vector<int> sorted_degrees;     ///< degree sequence, ascending
+};
+
+/// Computes the invariants of one graph (O(n log n + m)).
+GraphInvariants ComputeInvariants(const Graph& g);
+
+/// Orders a pair by node count — every solver in the repo requires
+/// n1 <= n2. Returns {smaller, larger}; ties keep argument order.
+inline std::pair<const Graph*, const Graph*> OrderBySize(const Graph& a,
+                                                         const Graph& b) {
+  if (a.NumNodes() <= b.NumNodes()) return {&a, &b};
+  return {&b, &a};
+}
+
+/// Admissible GED lower bound from invariants alone, O(n):
+/// max(label-set bound of Eq. 22, degree-sequence edge bound). The
+/// degree bound pairs the two ascending degree sequences (zero-padded)
+/// index-by-index; every edge edit moves two degrees by one, so
+/// ceil(L1/2) never exceeds the number of edge edits.
+int InvariantLowerBound(const GraphInvariants& a, const GraphInvariants& b);
+
+/// An immutable-after-ingest graph database. Ids are dense [0, Size()).
+class GraphStore {
+ public:
+  GraphStore() = default;
+
+  /// Ingests one graph; returns its id.
+  int Add(Graph g);
+  /// Ingests every graph of a dataset, in order.
+  void AddAll(const std::vector<Graph>& graphs);
+
+  int Size() const { return static_cast<int>(graphs_.size()); }
+  const Graph& graph(int id) const {
+    OTGED_DCHECK(id >= 0 && id < Size());
+    return graphs_[id];
+  }
+  const GraphInvariants& invariants(int id) const {
+    OTGED_DCHECK(id >= 0 && id < Size());
+    return invariants_[id];
+  }
+
+ private:
+  std::vector<Graph> graphs_;
+  std::vector<GraphInvariants> invariants_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_GRAPH_STORE_HPP_

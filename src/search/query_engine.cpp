@@ -1,0 +1,148 @@
+#include "search/query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "heuristics/bipartite.hpp"
+
+namespace otged {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+CascadeStats MergeWorkerStats(const std::vector<CascadeStats>& buffers) {
+  CascadeStats total;
+  for (const CascadeStats& s : buffers) total.Merge(s);
+  return total;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const GraphStore* store, const EngineOptions& opt)
+    : store_(store), cascade_(store, opt.cascade) {
+  int threads = opt.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  pool_ = std::make_unique<WorkStealingPool>(threads);
+}
+
+RangeResult QueryEngine::Range(const Graph& query, int tau) const {
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  auto start = std::chrono::steady_clock::now();
+  const int n = store_->Size();
+  const GraphInvariants qi = ComputeInvariants(query);
+
+  std::vector<CascadeVerdict> verdicts(n);
+  std::vector<CascadeStats> worker_stats(pool_->num_threads());
+  pool_->ParallelFor(n, /*grain=*/4, [&](int64_t i, int worker) {
+    verdicts[i] = cascade_.BoundedDistance(query, qi, static_cast<int>(i),
+                                           tau, /*need_distance=*/false,
+                                           &worker_stats[worker]);
+  });
+
+  RangeResult res;
+  for (int i = 0; i < n; ++i) {
+    if (verdicts[i].within)
+      res.hits.push_back({i, verdicts[i].ged, verdicts[i].exact_distance});
+  }
+  res.stats.cascade = MergeWorkerStats(worker_stats);
+  res.stats.wall_ms = ElapsedMs(start);
+  return res;
+}
+
+TopKResult QueryEngine::TopK(const Graph& query, int k) const {
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  auto start = std::chrono::steady_clock::now();
+  TopKResult res;
+  const int n = store_->Size();
+  k = std::min(k, n);
+  if (k <= 0) {
+    res.stats.wall_ms = ElapsedMs(start);
+    return res;
+  }
+  const GraphInvariants qi = ComputeInvariants(query);
+
+  // --- phase A: invariant lower bound for every stored graph -----------
+  std::vector<int> lb(n);
+  pool_->ParallelFor(n, /*grain=*/64, [&](int64_t i, int) {
+    lb[i] = InvariantLowerBound(qi, store_->invariants(static_cast<int>(i)));
+  });
+
+  // --- phase B: cap the k-th best distance ------------------------------
+  // The k candidates with the smallest (lb, id) each admit a feasible
+  // edit path no longer than their Classic upper bound; the largest of
+  // those k upper bounds therefore caps the true k-th best distance.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](int a, int b) {
+                     return lb[a] != lb[b] ? lb[a] < lb[b] : a < b;
+                   });
+  std::vector<int> seeds(order.begin(), order.begin() + k);
+  std::vector<int> seed_ub(k);
+  pool_->ParallelFor(k, /*grain=*/1, [&](int64_t s, int) {
+    auto [g1, g2] = OrderBySize(query, store_->graph(seeds[s]));
+    seed_ub[s] = ClassicGed(*g1, *g2).ged;
+  });
+  const int tau0 = *std::max_element(seed_ub.begin(), seed_ub.end());
+
+  // --- phase C: exact verification of surviving candidates -------------
+  std::vector<int> survivors;
+  for (int i = 0; i < n; ++i)
+    if (lb[i] <= tau0) survivors.push_back(i);
+
+  std::vector<CascadeVerdict> verdicts(survivors.size());
+  std::vector<CascadeStats> worker_stats(pool_->num_threads());
+  pool_->ParallelFor(static_cast<int64_t>(survivors.size()), /*grain=*/2,
+                     [&](int64_t s, int worker) {
+                       verdicts[s] = cascade_.BoundedDistance(
+                           query, qi, survivors[s], tau0,
+                           /*need_distance=*/true, &worker_stats[worker]);
+                     });
+
+  for (size_t s = 0; s < survivors.size(); ++s)
+    if (verdicts[s].within)
+      res.hits.push_back(
+          {survivors[s], verdicts[s].ged, verdicts[s].exact_distance});
+  std::sort(res.hits.begin(), res.hits.end(),
+            [](const TopKHit& a, const TopKHit& b) {
+              return a.ged != b.ged ? a.ged < b.ged : a.id < b.id;
+            });
+  if (static_cast<int>(res.hits.size()) > k) res.hits.resize(k);
+
+  // Phase A screened all n candidates; fold the ones that never reached
+  // the cascade into its tier-0 counter so the stats describe the query.
+  res.stats.cascade = MergeWorkerStats(worker_stats);
+  const long screened = n - static_cast<long>(survivors.size());
+  res.stats.cascade.candidates += screened;
+  res.stats.cascade.pruned_invariant += screened;
+  res.stats.wall_ms = ElapsedMs(start);
+  return res;
+}
+
+std::vector<RangeResult> QueryEngine::RangeBatch(
+    const std::vector<Graph>& queries, int tau) const {
+  std::vector<RangeResult> out;
+  out.reserve(queries.size());
+  for (const Graph& q : queries) out.push_back(Range(q, tau));
+  return out;
+}
+
+std::vector<TopKResult> QueryEngine::TopKBatch(
+    const std::vector<Graph>& queries, int k) const {
+  std::vector<TopKResult> out;
+  out.reserve(queries.size());
+  for (const Graph& q : queries) out.push_back(TopK(q, k));
+  return out;
+}
+
+}  // namespace otged

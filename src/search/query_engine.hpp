@@ -1,0 +1,110 @@
+/// \file query_engine.hpp
+/// \brief Parallel filter–verify query serving over a GraphStore.
+///
+/// The engine answers range queries (all graphs with GED(q, g) <= tau)
+/// and top-k queries (the k nearest graphs by exact GED, ties broken by
+/// id) by driving the FilterCascade over a work-stealing thread pool.
+/// Results are bit-identical for any thread count: parallel loops write
+/// into per-candidate slots and statistics are merged from per-worker
+/// buffers with commutative sums, so scheduling order never leaks into
+/// the output.
+///
+/// Top-k runs in three deterministic phases:
+///   A. invariant lower bounds for every stored graph (parallel, O(n));
+///   B. heuristic upper bounds for the k most promising candidates — the
+///      largest of those UBs is a provable cap tau0 on the k-th best
+///      distance;
+///   C. exact bounded-distance verification (parallel) of every candidate
+///      whose lower bound is within tau0, then a final sort by (ged, id).
+#ifndef OTGED_SEARCH_QUERY_ENGINE_HPP_
+#define OTGED_SEARCH_QUERY_ENGINE_HPP_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "search/filter_cascade.hpp"
+#include "search/graph_store.hpp"
+#include "search/work_stealing_pool.hpp"
+
+namespace otged {
+
+struct EngineOptions {
+  int num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
+  CascadeOptions cascade;
+};
+
+/// Per-query serving telemetry.
+struct QueryStats {
+  double wall_ms = 0.0;    ///< wall time of this query
+  CascadeStats cascade;    ///< tier-by-tier pruning and solver counts
+};
+
+/// One range-query hit. `ged` is the best distance the cascade needed to
+/// establish membership: exact when `exact_distance`, otherwise a
+/// feasible upper bound (normally <= tau; it can exceed tau only when
+/// the exact tier exhausted its budget, in which case the candidate is
+/// kept conservatively — the cascade never dismisses without an
+/// admissible-bound proof).
+struct RangeHit {
+  int id = -1;
+  int ged = -1;
+  bool exact_distance = false;
+};
+
+struct RangeResult {
+  std::vector<RangeHit> hits;  ///< ascending by id
+  QueryStats stats;
+};
+
+/// One top-k hit; `ged` is the exact distance (ties broken by id) unless
+/// the exact tier ran out of budget for this pair, in which case it is
+/// the best feasible upper bound and `exact_distance` is false.
+struct TopKHit {
+  int id = -1;
+  int ged = -1;
+  bool exact_distance = true;
+};
+
+struct TopKResult {
+  std::vector<TopKHit> hits;  ///< ascending by (ged, id)
+  QueryStats stats;
+};
+
+/// Thread-safe for concurrent callers: each query monopolizes the engine's
+/// pool (queries parallelize internally over candidates), so concurrent
+/// Range/TopK calls on one engine serialize against each other rather
+/// than interleave on the non-reentrant pool.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const GraphStore* store,
+                       const EngineOptions& opt = {});
+
+  /// All graphs with GED(query, g) <= tau; candidates are verified in
+  /// parallel across the pool.
+  RangeResult Range(const Graph& query, int tau) const;
+
+  /// The k nearest graphs by exact GED, ascending (ged, id).
+  TopKResult TopK(const Graph& query, int k) const;
+
+  /// Batch variants: queries are answered one at a time, each spreading
+  /// its candidate set over the full pool, so per-query latency stays flat
+  /// while the batch saturates every thread.
+  std::vector<RangeResult> RangeBatch(const std::vector<Graph>& queries,
+                                      int tau) const;
+  std::vector<TopKResult> TopKBatch(const std::vector<Graph>& queries,
+                                    int k) const;
+
+  const GraphStore& store() const { return *store_; }
+  int num_threads() const { return pool_->num_threads(); }
+
+ private:
+  const GraphStore* store_;
+  FilterCascade cascade_;
+  std::unique_ptr<WorkStealingPool> pool_;
+  mutable std::mutex serve_mu_;  ///< one query at a time on the pool
+};
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_QUERY_ENGINE_HPP_

@@ -1,0 +1,149 @@
+#include "search/work_stealing_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/check.hpp"
+
+namespace otged {
+
+WorkStealingPool::WorkStealingPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  deques_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i)
+    deques_.push_back(std::make_unique<Deque>());
+  threads_.reserve(num_threads_ - 1);
+  for (int i = 1; i < num_threads_; ++i)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealingPool::ParallelFor(
+    int64_t n, int grain, const std::function<void(int64_t, int)>& body) {
+  if (n <= 0) return;
+  OTGED_CHECK(grain >= 1);
+  if (num_threads_ == 1 || n <= grain) {
+    for (int64_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OTGED_CHECK_MSG(body_ == nullptr, "ParallelFor is not reentrant");
+    body_ = &body;
+    grain_ = grain;
+    remaining_.store(n, std::memory_order_relaxed);
+    // Seed every deque with one contiguous slice of [0, n).
+    const int64_t per = (n + num_threads_ - 1) / num_threads_;
+    for (int w = 0; w < num_threads_; ++w) {
+      int64_t lo = std::min<int64_t>(n, w * per);
+      int64_t hi = std::min<int64_t>(n, lo + per);
+      if (lo < hi) {
+        std::lock_guard<std::mutex> dlock(deques_[w]->mu);
+        deques_[w]->ranges.push_back({lo, hi});
+      }
+    }
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunLoop(/*worker=*/0);
+
+  // Wait until every index is done AND every woken worker has left
+  // RunLoop; only then may the next epoch's state be written (a worker
+  // still inside RunLoop would otherwise observe it mid-flight).
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0 && active_ == 0;
+  });
+  body_ = nullptr;
+}
+
+void WorkStealingPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      ++active_;
+    }
+    RunLoop(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::RunLoop(int worker) {
+  const std::function<void(int64_t, int)>* body = body_;
+  int victim = (worker + 1) % num_threads_;
+  int dry_sweeps = 0;
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    Range r;
+    if (!PopBottom(worker, &r)) {
+      // Own deque dry: scan victims once. If everything is dry the
+      // remaining work is in-flight inside other workers' chunks —
+      // yield a few times, then back off to a short sleep so a long
+      // tail chunk doesn't pin every idle worker at 100% CPU.
+      bool stolen = false;
+      for (int tries = 0; tries < num_threads_ - 1 && !stolen; ++tries) {
+        if (victim == worker) victim = (victim + 1) % num_threads_;
+        stolen = StealTop(victim, &r);
+        victim = (victim + 1) % num_threads_;
+      }
+      if (!stolen) {
+        if (++dry_sweeps < 16) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        continue;
+      }
+    }
+    dry_sweeps = 0;
+    // Keep one grain, return the rest to our own bottom for further
+    // splitting or stealing.
+    if (r.hi - r.lo > grain_) {
+      std::lock_guard<std::mutex> lock(deques_[worker]->mu);
+      deques_[worker]->ranges.push_back({r.lo + grain_, r.hi});
+      r.hi = r.lo + grain_;
+    }
+    for (int64_t i = r.lo; i < r.hi; ++i) (*body)(i, worker);
+    if (remaining_.fetch_sub(r.hi - r.lo, std::memory_order_acq_rel) ==
+        r.hi - r.lo) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool WorkStealingPool::PopBottom(int worker, Range* out) {
+  Deque& d = *deques_[worker];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.ranges.empty()) return false;
+  *out = d.ranges.back();
+  d.ranges.pop_back();
+  return true;
+}
+
+bool WorkStealingPool::StealTop(int thief, Range* out) {
+  Deque& d = *deques_[thief];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.ranges.empty()) return false;
+  *out = d.ranges.front();
+  d.ranges.pop_front();
+  return true;
+}
+
+}  // namespace otged

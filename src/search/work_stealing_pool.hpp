@@ -1,0 +1,80 @@
+/// \file work_stealing_pool.hpp
+/// \brief Work-stealing thread pool for data-parallel loops over query
+/// candidates. Each worker owns a deque of index ranges; workers split
+/// their own bottom range (LIFO, cache-friendly) and idle workers steal
+/// whole ranges from a victim's top (FIFO, coarsest-first), which is the
+/// classic Cilk/PASGAL scheduling discipline. Deques are mutex-guarded —
+/// contention is per-steal, not per-item, because work is moved in ranges.
+///
+/// The pool only schedules; it never reorders results. Callers write into
+/// pre-sized per-index slots, so parallel loops are deterministic for any
+/// thread count.
+#ifndef OTGED_SEARCH_WORK_STEALING_POOL_HPP_
+#define OTGED_SEARCH_WORK_STEALING_POOL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace otged {
+
+class WorkStealingPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the caller participates as worker 0
+  /// during ParallelFor, so `num_threads == 1` runs fully inline.
+  explicit WorkStealingPool(int num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i, worker) for every i in [0, n), distributing ranges over
+  /// the pool; blocks until all n indices are done. `worker` is in
+  /// [0, num_threads()) and lets callers keep contention-free per-worker
+  /// accumulators. `grain` is the largest chunk a worker processes between
+  /// deque interactions. Not reentrant.
+  void ParallelFor(int64_t n, int grain,
+                   const std::function<void(int64_t, int)>& body);
+
+ private:
+  struct Range {
+    int64_t lo, hi;
+  };
+
+  struct Deque {
+    std::mutex mu;
+    std::deque<Range> ranges;
+  };
+
+  void WorkerLoop(int worker);
+  /// Executes available work until the current loop is drained.
+  void RunLoop(int worker);
+  bool PopBottom(int worker, Range* out);
+  bool StealTop(int thief, Range* out);
+
+  const int num_threads_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a new loop
+  std::condition_variable done_cv_;   ///< caller waits for completion
+  const std::function<void(int64_t, int)>* body_ = nullptr;
+  int grain_ = 1;
+  std::atomic<int64_t> remaining_{0};  ///< indices not yet completed
+  int active_ = 0;                    ///< workers currently inside RunLoop
+  uint64_t epoch_ = 0;                ///< bumped per ParallelFor
+  bool shutdown_ = false;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_WORK_STEALING_POOL_HPP_

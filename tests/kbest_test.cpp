@@ -110,7 +110,9 @@ TEST(KBestGepTest, LargerKNeverHurts) {
   int prev = -1;
   for (int k : {1, 4, 16}) {
     GepResult res = KBestGepSearch(pair.g1, pair.g2, pi, k);
-    if (prev >= 0) EXPECT_LE(res.ged, prev);
+    if (prev >= 0) {
+      EXPECT_LE(res.ged, prev);
+    }
     prev = res.ged;
   }
 }
