@@ -1,10 +1,11 @@
 /// \file search_cli.cpp
-/// \brief Command-line front end for the filter–verify search engine:
-/// builds a synthetic corpus, ingests it into a GraphStore, and serves
-/// range or top-k queries over the work-stealing pool, printing per-query
-/// results and cascade telemetry.
+/// \brief Command-line front end for the filter–verify search engine.
 ///
-/// Usage:
+/// Two modes:
+///
+/// One-shot (original interface): builds a synthetic corpus, ingests it
+/// into a GraphStore, and serves range or top-k queries, printing
+/// per-query results and cascade telemetry.
 ///   search_cli [dataset] [count] [mode] [arg] [queries] [threads]
 ///     dataset  aids | linux | imdb | powerlaw   (default aids)
 ///     count    corpus size                      (default 200)
@@ -12,12 +13,30 @@
 ///     arg      tau for range, k for topk        (default 3)
 ///     queries  number of queries to serve       (default 5)
 ///     threads  worker threads, 0 = hardware     (default 0)
+///
+/// REPL (`search_cli repl [threads]`): drives one dynamic GraphStore +
+/// QueryEngine with commands from stdin, exercising mutation, persistence
+/// and batched serving:
+///   gen <dataset> <count>    insert synthetic graphs (stable ids printed)
+///   add <path>               insert every graph of a t/v/e corpus file
+///   rm <id>                  erase one graph by stable id
+///   save <path>              persist the store (versioned binary + crc)
+///   load <path>              replace the store from a persisted file
+///   range <tau> <n>          serve n synthetic queries, one at a time
+///   topk <k> <n>             same, top-k
+///   batch <tau> <n>          serve n queries as one RangeBatch pool pass
+///   info                     store size / epoch / bound-cache occupancy
+///   quit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
 
+#include "graph/graph_io.hpp"
 #include "search/query_engine.hpp"
+#include "search/store_serialize.hpp"
 
 using namespace otged;
 
@@ -34,17 +53,132 @@ Graph MakeQueryGraph(const std::string& dataset, Rng* rng) {
 void PrintStats(const QueryStats& stats) {
   const CascadeStats& c = stats.cascade;
   std::printf(
-      "    %.2f ms | %ld candidates: %ld invariant-pruned, %ld "
-      "branch-pruned, %ld heuristic, %ld ot, %ld exact | %ld OT calls, "
-      "%ld exact calls | %.0f%% pruned before solvers\n",
-      stats.wall_ms, c.candidates, c.pruned_invariant, c.pruned_branch,
-      c.decided_heuristic, c.decided_ot, c.decided_exact, c.ot_calls,
-      c.exact_calls, 100.0 * c.PrunedBeforeSolvers());
+      "    %.2f ms | epoch %llu | %ld candidates: %ld invariant-pruned, "
+      "%ld branch-pruned, %ld heuristic, %ld ot, %ld exact, %ld cached | "
+      "%ld OT calls, %ld exact calls | %.0f%% pruned before solvers\n",
+      stats.wall_ms, static_cast<unsigned long long>(stats.epoch),
+      c.candidates, c.pruned_invariant, c.pruned_branch, c.decided_heuristic,
+      c.decided_ot, c.decided_exact, c.cache_hits, c.ot_calls, c.exact_calls,
+      100.0 * c.PrunedBeforeSolvers());
+}
+
+void PrintRange(const RangeResult& res, int tau) {
+  std::printf("    %zu hits within tau=%d:", res.hits.size(), tau);
+  for (const RangeHit& h : res.hits)
+    std::printf(" %d(ged%s%d)", h.id, h.exact_distance ? "=" : "<=", h.ged);
+  std::printf("\n");
+  PrintStats(res.stats);
+}
+
+int RunRepl(int threads) {
+  GraphStore store;
+  EngineOptions opt;
+  opt.num_threads = threads;
+  opt.cascade.exact_budget = 500'000;
+  QueryEngine engine(&store, opt);
+  std::printf("engine: %d worker threads; type commands (quit to exit)\n",
+              engine.num_threads());
+
+  Rng rng(7);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream cmd(line);
+    std::string op;
+    if (!(cmd >> op) || op[0] == '#') continue;
+    if (op == "quit" || op == "exit") break;
+
+    if (op == "gen") {
+      std::string dataset = "aids";
+      int count = 10;
+      cmd >> dataset >> count;
+      int first = -1, last = -1;
+      for (int i = 0; i < count; ++i) {
+        last = store.Insert(MakeQueryGraph(dataset, &rng));
+        if (first < 0) first = last;
+      }
+      std::printf("inserted %d %s graphs, ids %d..%d (epoch %llu)\n", count,
+                  dataset.c_str(), first, last,
+                  static_cast<unsigned long long>(store.Epoch()));
+    } else if (op == "add") {
+      std::string path, error;
+      cmd >> path;
+      std::vector<Graph> graphs = LoadGraphs(path, &error);
+      if (!error.empty()) {
+        std::printf("error: %s\n", error.c_str());
+        continue;
+      }
+      for (Graph& g : graphs) store.Insert(std::move(g));
+      std::printf("inserted %zu graphs from %s (size %d, epoch %llu)\n",
+                  graphs.size(), path.c_str(), store.Size(),
+                  static_cast<unsigned long long>(store.Epoch()));
+    } else if (op == "rm") {
+      int id = -1;
+      cmd >> id;
+      const bool erased = store.Erase(id);
+      std::printf(erased ? "erased %d (epoch %llu)\n"
+                         : "no graph with id %d (epoch %llu)\n",
+                  id, static_cast<unsigned long long>(store.Epoch()));
+    } else if (op == "save") {
+      std::string path, error;
+      cmd >> path;
+      if (SaveGraphStore(store, path, &error))
+        std::printf("saved %d graphs to %s\n", store.Size(), path.c_str());
+      else
+        std::printf("error: %s\n", error.c_str());
+    } else if (op == "load") {
+      std::string path, error;
+      cmd >> path;
+      if (LoadGraphStore(&store, path, &error))
+        std::printf("loaded %d graphs from %s (epoch %llu)\n", store.Size(),
+                    path.c_str(),
+                    static_cast<unsigned long long>(store.Epoch()));
+      else
+        std::printf("error: %s\n", error.c_str());
+    } else if (op == "range" || op == "topk") {
+      int arg = 3, n = 1;
+      cmd >> arg >> n;
+      for (int q = 0; q < n; ++q) {
+        Graph query = MakeQueryGraph("aids", &rng);
+        std::printf("query %d (n=%d m=%d):\n", q, query.NumNodes(),
+                    query.NumEdges());
+        if (op == "topk") {
+          TopKResult res = engine.TopK(query, arg);
+          for (const TopKHit& h : res.hits)
+            std::printf("    id %4d  ged %d\n", h.id, h.ged);
+          PrintStats(res.stats);
+        } else {
+          PrintRange(engine.Range(query, arg), arg);
+        }
+      }
+    } else if (op == "batch") {
+      int tau = 3, n = 4;
+      cmd >> tau >> n;
+      std::vector<Graph> queries;
+      for (int q = 0; q < n; ++q)
+        queries.push_back(MakeQueryGraph("aids", &rng));
+      std::vector<RangeResult> results = engine.RangeBatch(queries, tau);
+      for (int q = 0; q < n; ++q) {
+        std::printf("query %d:\n", q);
+        PrintRange(results[q], tau);
+      }
+    } else if (op == "info") {
+      std::printf("size %d | epoch %llu | next id %d | cached pairs %zu\n",
+                  store.Size(),
+                  static_cast<unsigned long long>(store.Epoch()),
+                  store.NextId(), engine.CacheSize());
+    } else {
+      std::printf("unknown command: %s\n", op.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "repl") == 0)
+    return RunRepl(argc > 2 ? std::atoi(argv[2]) : 0);
+
   std::string dataset = argc > 1 ? argv[1] : "aids";
   int count = argc > 2 ? std::atoi(argv[2]) : 200;
   std::string mode = argc > 3 ? argv[3] : "range";
@@ -54,7 +188,7 @@ int main(int argc, char** argv) {
 
   Rng rng(7);
   GraphStore store;
-  for (int i = 0; i < count; ++i) store.Add(MakeQueryGraph(dataset, &rng));
+  for (int i = 0; i < count; ++i) store.Insert(MakeQueryGraph(dataset, &rng));
   std::printf("corpus: %d %s graphs\n", store.Size(), dataset.c_str());
 
   EngineOptions opt;
@@ -73,13 +207,7 @@ int main(int argc, char** argv) {
         std::printf("    id %4d  ged %d\n", h.id, h.ged);
       PrintStats(res.stats);
     } else {
-      RangeResult res = engine.Range(query, arg);
-      std::printf("    %zu hits within tau=%d:", res.hits.size(), arg);
-      for (const RangeHit& h : res.hits)
-        std::printf(" %d(ged%s%d)", h.id, h.exact_distance ? "=" : "<=",
-                    h.ged);
-      std::printf("\n");
-      PrintStats(res.stats);
+      PrintRange(engine.Range(query, arg), arg);
     }
   }
   return 0;

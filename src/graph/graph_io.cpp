@@ -78,6 +78,94 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
   return g;
 }
 
+namespace {
+
+void AppendI32(std::string* buf, int32_t v) {
+  for (int b = 0; b < 4; ++b)
+    buf->push_back(static_cast<char>((static_cast<uint32_t>(v) >> (8 * b)) &
+                                     0xff));
+}
+
+bool ReadI32(std::string_view buf, size_t* offset, int32_t* out) {
+  if (*offset + 4 > buf.size()) return false;
+  uint32_t v = 0;
+  for (int b = 0; b < 4; ++b)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((buf)[*offset + b]))
+         << (8 * b);
+  *offset += 4;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+void AppendGraphBinary(std::string* buf, const Graph& g) {
+  AppendI32(buf, g.NumNodes());
+  AppendI32(buf, g.NumEdges());
+  for (int v = 0; v < g.NumNodes(); ++v) AppendI32(buf, g.label(v));
+  for (int u = 0; u < g.NumNodes(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (u >= v) continue;  // adjacency lists are sorted, so (u, v) ascend
+      AppendI32(buf, u);
+      AppendI32(buf, v);
+      AppendI32(buf, g.edge_label(u, v));
+    }
+  }
+}
+
+std::optional<Graph> DecodeGraphBinary(std::string_view buf, size_t* offset,
+                                       std::string* error) {
+  int32_t n = -1, m = -1;
+  if (!ReadI32(buf, offset, &n) || !ReadI32(buf, offset, &m) || n < 0 ||
+      m < 0) {
+    Fail(error, "bad binary graph header");
+    return std::nullopt;
+  }
+  // Don't trust the counts for allocation: the encoded sections must
+  // actually fit in the remaining bytes (4 per node, 12 per edge).
+  if (buf.size() - *offset < 4ull * n + 12ull * m) {
+    Fail(error, "truncated binary graph");
+    return std::nullopt;
+  }
+  Graph g(n);
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t label = 0;
+    if (!ReadI32(buf, offset, &label)) {
+      Fail(error, "truncated binary node section");
+      return std::nullopt;
+    }
+    g.set_label(i, label);
+  }
+  for (int32_t i = 0; i < m; ++i) {
+    int32_t u = -1, v = -1, el = 0;
+    if (!ReadI32(buf, offset, &u) || !ReadI32(buf, offset, &v) ||
+        !ReadI32(buf, offset, &el) || u < 0 || v < 0 || u >= n || v >= n ||
+        u == v || g.HasEdge(u, v)) {
+      Fail(error, "bad binary edge record");
+      return std::nullopt;
+    }
+    g.AddEdge(u, v, el);
+  }
+  return g;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t GraphContentFingerprint(const Graph& g) {
+  std::string buf;
+  buf.reserve(8 + 4 * static_cast<size_t>(g.NumNodes()) +
+              12 * static_cast<size_t>(g.NumEdges()));
+  AppendGraphBinary(&buf, g);
+  return Fnv1a64(buf);
+}
+
 bool SaveGraphs(const std::string& path, const std::vector<Graph>& graphs) {
   std::ofstream out(path);
   if (!out) return false;

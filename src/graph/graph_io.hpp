@@ -1,18 +1,25 @@
 /// \file graph_io.hpp
-/// \brief Plain-text graph (de)serialization and corpus I/O, so users can
-/// run otged on their own data (and so the CLI example has a format).
+/// \brief Graph (de)serialization and corpus I/O, so users can run otged
+/// on their own data (and so the CLI example has a format).
 ///
-/// Format (one graph):
+/// Text format (one graph):
 ///   t <num_nodes> <num_edges>
 ///   v <id> <label>            (num_nodes lines, ids 0..n-1)
 ///   e <u> <v> [edge_label]    (num_edges lines)
 /// A corpus file is a concatenation of graphs.
+///
+/// The binary encoding (AppendGraphBinary/DecodeGraphBinary) is the
+/// building block of the GraphStore persistence format and of the
+/// content fingerprint the query bound cache keys on: it is canonical —
+/// two graphs encode to the same bytes iff they are node-identity equal.
 #ifndef OTGED_GRAPH_GRAPH_IO_HPP_
 #define OTGED_GRAPH_GRAPH_IO_HPP_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -30,6 +37,26 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error = nullptr);
 bool SaveGraphs(const std::string& path, const std::vector<Graph>& graphs);
 std::vector<Graph> LoadGraphs(const std::string& path,
                               std::string* error = nullptr);
+
+/// Appends the canonical binary encoding of `g` to `buf`: int32 n, m;
+/// n int32 node labels; m edges as int32 (u, v, edge_label) with u < v,
+/// ascending (u, v). Little-endian fixed-width fields.
+void AppendGraphBinary(std::string* buf, const Graph& g);
+
+/// Decodes one graph written by AppendGraphBinary, starting at *offset
+/// into `buf`; advances *offset past it. Malformed input returns nullopt
+/// with `error` set and leaves *offset unspecified.
+std::optional<Graph> DecodeGraphBinary(std::string_view buf, size_t* offset,
+                                       std::string* error = nullptr);
+
+/// FNV-1a 64-bit hash; used as the corpus-file checksum and, over a
+/// graph's canonical binary encoding, as the bound cache's query
+/// fingerprint.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Fnv1a64 over the canonical binary encoding: equal iff (modulo hash
+/// collisions) the graphs are node-identity equal.
+uint64_t GraphContentFingerprint(const Graph& g);
 
 }  // namespace otged
 

@@ -1,0 +1,84 @@
+#include "search/bound_cache.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace otged {
+
+namespace {
+constexpr size_t kNumShards = 16;
+}
+
+BoundCache::BoundCache(size_t capacity)
+    : shard_capacity_(std::max<size_t>(1, capacity / kNumShards)) {
+  shards_.reserve(kNumShards);
+  for (size_t s = 0; s < kNumShards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<int> BoundCache::Lookup(uint64_t query_fp, int graph_id) {
+  const Key key{query_fp, graph_id};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void BoundCache::Insert(uint64_t query_fp, int graph_id, int exact_ged) {
+  const Key key{query_fp, graph_id};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = exact_ged;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.map.size() >= shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  shard.lru.emplace_front(key, exact_ged);
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+void BoundCache::EraseGraph(int graph_id) {
+  EraseGraphs({graph_id});
+}
+
+void BoundCache::EraseGraphs(const std::vector<int>& graph_ids) {
+  if (graph_ids.empty()) return;
+  const std::unordered_set<int> retired(graph_ids.begin(), graph_ids.end());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (retired.count(it->first.id) != 0) {
+        shard->map.erase(it->first);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BoundCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+size_t BoundCache::Size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace otged

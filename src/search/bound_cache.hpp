@@ -1,0 +1,88 @@
+/// \file bound_cache.hpp
+/// \brief Sharded LRU cache of verified (query, stored-graph) distances.
+///
+/// The cache only stores distances the cascade *proved exact* — an
+/// admissible lower bound meeting a feasible upper bound, or a completed
+/// branch-and-bound run. Exact GED is a pure function of the graph pair,
+/// so a hit is correct for any tau and any need_distance mode, and cache
+/// contents never depend on the order or thresholds of past queries;
+/// warm-cache serving therefore stays deterministic. Keys pair the query
+/// graph's content fingerprint with the stored graph's stable id; ids are
+/// never reused, so a stale entry can never alias a different graph —
+/// EraseGraph invalidation is memory hygiene (and protection against id
+/// reuse across a GraphStore::Restore), not a correctness requirement for
+/// plain Erase.
+///
+/// Sharded by key hash: lookups and inserts from the work-stealing pool
+/// contend only within a shard, and each shard runs its own LRU.
+#ifndef OTGED_SEARCH_BOUND_CACHE_HPP_
+#define OTGED_SEARCH_BOUND_CACHE_HPP_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace otged {
+
+class BoundCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards.
+  explicit BoundCache(size_t capacity = 1 << 16);
+
+  /// Exact GED of (query with this fingerprint, stored graph id), if
+  /// known. A hit refreshes the entry's LRU position.
+  std::optional<int> Lookup(uint64_t query_fp, int graph_id);
+
+  /// Records a proven-exact distance; refreshes on re-insert. Evicts the
+  /// shard's least-recently-used entry when the shard is full.
+  void Insert(uint64_t query_fp, int graph_id, int exact_ged);
+
+  /// Drops every entry for `graph_id` (all shards).
+  void EraseGraph(int graph_id);
+
+  /// Drops every entry for any id in `graph_ids` in one sweep per shard
+  /// — O(cache size) total for the whole batch, not per id, which is
+  /// what the serving path wants when draining an erase-log backlog.
+  void EraseGraphs(const std::vector<int>& graph_ids);
+
+  void Clear();
+  size_t Size() const;
+
+ private:
+  struct Key {
+    uint64_t fp;
+    int id;
+    bool operator==(const Key& o) const { return fp == o.fp && id == o.id; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.fp ^ (static_cast<uint64_t>(k.id) * 0x9e3779b97f4a7c15ull);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<Key, int>> lru;  ///< front = most recently used
+    std::unordered_map<Key, std::list<std::pair<Key, int>>::iterator, KeyHash>
+        map;
+  };
+
+  Shard& ShardFor(const Key& k) {
+    return *shards_[KeyHash{}(k) % shards_.size()];
+  }
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_BOUND_CACHE_HPP_

@@ -21,6 +21,7 @@ void CascadeStats::Merge(const CascadeStats& o) {
   ot_calls += o.ot_calls;
   exact_calls += o.exact_calls;
   exact_incomplete += o.exact_incomplete;
+  cache_hits += o.cache_hits;
 }
 
 double CascadeStats::PrunedBeforeSolvers() const {
@@ -28,22 +29,17 @@ double CascadeStats::PrunedBeforeSolvers() const {
   return static_cast<double>(pruned_invariant + pruned_branch) / candidates;
 }
 
-FilterCascade::FilterCascade(const GraphStore* store,
-                             const CascadeOptions& opt)
-    : store_(store), opt_(opt) {
-  OTGED_CHECK(store_ != nullptr);
-}
+FilterCascade::FilterCascade(const CascadeOptions& opt) : opt_(opt) {}
 
 CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
                                               const GraphInvariants& qi,
-                                              int id, int tau,
-                                              bool need_distance,
+                                              const Graph& g,
+                                              const GraphInvariants& gi,
+                                              int tau, bool need_distance,
                                               CascadeStats* stats) const {
   OTGED_DCHECK(stats != nullptr);
   stats->candidates++;
   CascadeVerdict v;
-  const Graph& g = store_->graph(id);
-  const GraphInvariants& gi = store_->invariants(id);
 
   // --- tier 0: invariants only, no adjacency access --------------------
   int lb = InvariantLowerBound(qi, gi);

@@ -37,13 +37,16 @@ struct CascadeOptions {
   long exact_budget = 20'000'000;  ///< tier-4 branch-and-bound visit budget
 };
 
-/// Where in the cascade a candidate's fate was decided (statistics only).
+/// Where a candidate's fate was decided (statistics only). kCache is not
+/// a cascade tier proper: it marks pairs the QueryEngine answered from
+/// its bound cache without entering the cascade.
 enum class CascadeTier : int {
   kInvariant = 0,
   kBranch = 1,
   kHeuristic = 2,
   kOt = 3,
   kExact = 4,
+  kCache = 5,
 };
 
 /// Per-run filter statistics; totals over many candidates are obtained by
@@ -59,6 +62,7 @@ struct CascadeStats {
   long ot_calls = 0;          ///< GEDGW invocations
   long exact_calls = 0;       ///< branch-and-bound invocations
   long exact_incomplete = 0;  ///< exact runs that exhausted their budget
+  long cache_hits = 0;        ///< pairs answered from the bound cache
 
   void Merge(const CascadeStats& o);
   /// Fraction of candidates dismissed before any OT or exact solver ran.
@@ -73,29 +77,29 @@ struct CascadeVerdict {
   CascadeTier tier = CascadeTier::kInvariant;  ///< deciding tier
 };
 
-/// Stateless (after construction) decision procedure over one GraphStore;
-/// safe to share across threads.
+/// Stateless (after construction) decision procedure over graph pairs;
+/// safe to share across threads. The cascade is corpus-agnostic: callers
+/// (the QueryEngine) hand it the stored graph and its precomputed
+/// invariants from whichever StoreSnapshot they pinned.
 class FilterCascade {
  public:
-  explicit FilterCascade(const GraphStore* store,
-                         const CascadeOptions& opt = {});
+  explicit FilterCascade(const CascadeOptions& opt = {});
 
-  /// Decides whether GED(query, store[id]) <= tau, escalating only as far
-  /// as needed. With `need_distance`, membership alone never settles a
+  /// Decides whether GED(query, g) <= tau, escalating only as far as
+  /// needed. With `need_distance`, membership alone never settles a
   /// candidate: the cascade continues (through the exact tier if the
   /// bounds disagree) until `ged` is the exact distance — top-k ranking
   /// needs this; range queries do not. `qi` must be
-  /// ComputeInvariants(query).
+  /// ComputeInvariants(query) and `gi` ComputeInvariants(g).
   CascadeVerdict BoundedDistance(const Graph& query,
-                                 const GraphInvariants& qi, int id, int tau,
+                                 const GraphInvariants& qi, const Graph& g,
+                                 const GraphInvariants& gi, int tau,
                                  bool need_distance,
                                  CascadeStats* stats) const;
 
   const CascadeOptions& options() const { return opt_; }
-  const GraphStore& store() const { return *store_; }
 
  private:
-  const GraphStore* store_;
   CascadeOptions opt_;
 };
 

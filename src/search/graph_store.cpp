@@ -75,14 +75,178 @@ int InvariantLowerBound(const GraphInvariants& a, const GraphInvariants& b) {
   return std::max(label_bound, degree_bound);
 }
 
-int GraphStore::Add(Graph g) {
-  invariants_.push_back(ComputeInvariants(g));
-  graphs_.push_back(std::move(g));
-  return Size() - 1;
+int StoreSnapshot::SlotOf(int id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const std::shared_ptr<const StoreEntry>& e, int v) {
+        return e->id < v;
+      });
+  if (it == entries_.end() || (*it)->id != id) return -1;
+  return static_cast<int>(it - entries_.begin());
+}
+
+GraphStore::GraphStore() : snap_(std::make_shared<StoreSnapshot>()) {}
+
+GraphStore::GraphStore(GraphStore&& o) noexcept {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  snap_ = std::move(o.snap_);
+  next_id_ = o.next_id_;
+  erase_log_ = std::move(o.erase_log_);
+  o.snap_ = std::make_shared<StoreSnapshot>();
+  o.next_id_ = 0;
+}
+
+GraphStore& GraphStore::operator=(GraphStore&& o) noexcept {
+  if (this == &o) return *this;
+  std::scoped_lock lock(mu_, o.mu_);
+  snap_ = std::move(o.snap_);
+  next_id_ = o.next_id_;
+  erase_log_ = std::move(o.erase_log_);
+  o.snap_ = std::make_shared<StoreSnapshot>();
+  o.next_id_ = 0;
+  return *this;
+}
+
+int GraphStore::Insert(Graph g) {
+  auto entry = std::make_shared<StoreEntry>();
+  entry->invariants = ComputeInvariants(g);
+  entry->graph = std::move(g);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->id = next_id_++;
+  auto next = std::make_shared<StoreSnapshot>();
+  next->epoch_ = snap_->epoch_ + 1;
+  next->entries_ = snap_->entries_;
+  next->entries_.push_back(std::move(entry));
+  const int id = next->entries_.back()->id;
+  snap_ = std::move(next);
+  return id;
 }
 
 void GraphStore::AddAll(const std::vector<Graph>& graphs) {
-  for (const Graph& g : graphs) Add(g);
+  if (graphs.empty()) return;
+  // Invariants are computed outside the lock; one snapshot publication
+  // covers the whole batch, keeping bulk ingest O(N) instead of O(N^2).
+  std::vector<std::shared_ptr<StoreEntry>> pending;
+  pending.reserve(graphs.size());
+  for (const Graph& g : graphs) {
+    auto entry = std::make_shared<StoreEntry>();
+    entry->invariants = ComputeInvariants(g);
+    entry->graph = g;
+    pending.push_back(std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<StoreSnapshot>();
+  next->epoch_ = snap_->epoch_ + 1;
+  next->entries_ = snap_->entries_;
+  next->entries_.reserve(next->entries_.size() + pending.size());
+  for (auto& entry : pending) {
+    entry->id = next_id_++;
+    next->entries_.push_back(std::move(entry));
+  }
+  snap_ = std::move(next);
+}
+
+bool GraphStore::Erase(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int slot = snap_->SlotOf(id);
+  if (slot < 0) return false;
+  auto next = std::make_shared<StoreSnapshot>();
+  next->epoch_ = snap_->epoch_ + 1;
+  next->entries_ = snap_->entries_;
+  next->entries_.erase(next->entries_.begin() + slot);
+  snap_ = std::move(next);
+  erase_log_.push_back(id);
+  return true;
+}
+
+int GraphStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_->Size();
+}
+
+uint64_t GraphStore::Epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_->epoch_;
+}
+
+int GraphStore::NextId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+bool GraphStore::Contains(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_->SlotOf(id) >= 0;
+}
+
+std::shared_ptr<const StoreSnapshot> GraphStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+std::shared_ptr<const StoreSnapshot> GraphStore::SnapshotAndErased(
+    size_t* cursor, std::vector<int>* erased) const {
+  OTGED_DCHECK(cursor != nullptr && erased != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  erased->clear();
+  if (*cursor < erase_log_.size()) {
+    erased->assign(erase_log_.begin() + static_cast<long>(*cursor),
+                   erase_log_.end());
+    *cursor = erase_log_.size();
+  }
+  return snap_;
+}
+
+const Graph& GraphStore::graph(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int slot = snap_->SlotOf(id);
+  OTGED_CHECK(slot >= 0);
+  return snap_->graph(slot);
+}
+
+const GraphInvariants& GraphStore::invariants(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int slot = snap_->SlotOf(id);
+  OTGED_CHECK(slot >= 0);
+  return snap_->invariants(slot);
+}
+
+bool GraphStore::Restore(std::vector<std::pair<int, Graph>> entries,
+                         int next_id) {
+  int max_id = -1;
+  for (const auto& [id, g] : entries) {
+    if (id <= max_id) return false;  // ids must be strictly increasing
+    max_id = id;
+  }
+  auto next = std::make_shared<StoreSnapshot>();
+  next->entries_.reserve(entries.size());
+  for (auto& [id, g] : entries) {
+    auto entry = std::make_shared<StoreEntry>();
+    entry->id = id;
+    entry->invariants = ComputeInvariants(g);
+    entry->graph = std::move(g);
+    next->entries_.push_back(std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire every id that was present: after the swap the same id may name
+  // a different graph, so downstream bound caches must drop it.
+  for (const auto& e : snap_->entries_) erase_log_.push_back(e->id);
+  next->epoch_ = snap_->epoch_ + 1;
+  next_id_ = std::max({next_id_, next_id, max_id + 1});
+  snap_ = std::move(next);
+  return true;
+}
+
+std::vector<int> GraphStore::ErasedSince(size_t* cursor) const {
+  OTGED_DCHECK(cursor != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  if (*cursor < erase_log_.size()) {
+    out.assign(erase_log_.begin() + static_cast<long>(*cursor),
+               erase_log_.end());
+    *cursor = erase_log_.size();
+  }
+  return out;
 }
 
 }  // namespace otged

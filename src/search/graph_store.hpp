@@ -1,14 +1,25 @@
 /// \file graph_store.hpp
-/// \brief Indexed graph corpus for similarity search: owns the graphs of a
-/// database and precomputes, per graph, the cheap isomorphism invariants
-/// the filter cascade consumes (WL hash, sorted node-label multiset,
-/// sorted degree sequence, node/edge counts). Invariants are computed once
-/// at ingest, so a filter evaluation against a stored graph touches no
-/// adjacency structure until the bipartite tier.
+/// \brief Dynamic indexed graph corpus for similarity search: owns the
+/// graphs of a database and precomputes, per graph, the cheap isomorphism
+/// invariants the filter cascade consumes (WL hash, sorted node-label
+/// multiset, sorted degree sequence, node/edge counts). Invariants are
+/// computed once at ingest, so a filter evaluation against a stored graph
+/// touches no adjacency structure until the bipartite tier.
+///
+/// The store is mutable while serving: Insert/Erase build a new immutable
+/// StoreSnapshot (copy-on-write over shared per-graph entries, so a
+/// mutation copies O(size) pointers and zero graphs) and publish it under
+/// a mutex. Queries pin one snapshot for their whole lifetime, so an
+/// in-flight query always sees a consistent corpus — the one tagged with
+/// the snapshot's epoch — no matter how many mutations land meanwhile.
+/// Graph ids are stable and never reused: Insert assigns the next id from
+/// a monotone counter, and Erase retires the id forever.
 #ifndef OTGED_SEARCH_GRAPH_STORE_HPP_
 #define OTGED_SEARCH_GRAPH_STORE_HPP_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -25,6 +36,12 @@ struct GraphInvariants {
   uint64_t wl_hash = 0;                ///< 3-round WL color-refinement hash
   std::vector<Label> sorted_labels;    ///< node-label multiset, ascending
   std::vector<int> sorted_degrees;     ///< degree sequence, ascending
+
+  bool operator==(const GraphInvariants& o) const {
+    return num_nodes == o.num_nodes && num_edges == o.num_edges &&
+           wl_hash == o.wl_hash && sorted_labels == o.sorted_labels &&
+           sorted_degrees == o.sorted_degrees;
+  }
 };
 
 /// Computes the invariants of one graph (O(n log n + m)).
@@ -45,29 +62,123 @@ inline std::pair<const Graph*, const Graph*> OrderBySize(const Graph& a,
 /// ceil(L1/2) never exceeds the number of edge edits.
 int InvariantLowerBound(const GraphInvariants& a, const GraphInvariants& b);
 
-/// An immutable-after-ingest graph database. Ids are dense [0, Size()).
-class GraphStore {
+/// One stored graph with its precomputed invariants; shared between
+/// snapshots, immutable after ingest.
+struct StoreEntry {
+  int id = -1;
+  Graph graph;
+  GraphInvariants invariants;
+};
+
+/// An immutable view of the corpus at one epoch. Slots are dense
+/// [0, Size()) and ascend by stable id (mutations preserve insertion
+/// order, and ids are assigned monotonically). Safe to read from any
+/// number of threads; stays valid for as long as the shared_ptr is held,
+/// regardless of later store mutations.
+class StoreSnapshot {
  public:
-  GraphStore() = default;
+  int Size() const { return static_cast<int>(entries_.size()); }
+  uint64_t epoch() const { return epoch_; }
 
-  /// Ingests one graph; returns its id.
-  int Add(Graph g);
-  /// Ingests every graph of a dataset, in order.
-  void AddAll(const std::vector<Graph>& graphs);
+  int id(int slot) const { return entry(slot).id; }
+  const Graph& graph(int slot) const { return entry(slot).graph; }
+  const GraphInvariants& invariants(int slot) const {
+    return entry(slot).invariants;
+  }
 
-  int Size() const { return static_cast<int>(graphs_.size()); }
-  const Graph& graph(int id) const {
-    OTGED_DCHECK(id >= 0 && id < Size());
-    return graphs_[id];
-  }
-  const GraphInvariants& invariants(int id) const {
-    OTGED_DCHECK(id >= 0 && id < Size());
-    return invariants_[id];
-  }
+  /// Slot of a stable id (binary search over the ascending ids), or -1.
+  int SlotOf(int id) const;
 
  private:
-  std::vector<Graph> graphs_;
-  std::vector<GraphInvariants> invariants_;
+  friend class GraphStore;
+
+  const StoreEntry& entry(int slot) const {
+    OTGED_DCHECK(slot >= 0 && slot < Size());
+    return *entries_[slot];
+  }
+
+  uint64_t epoch_ = 0;
+  std::vector<std::shared_ptr<const StoreEntry>> entries_;
+};
+
+/// A dynamic graph database serving concurrent readers. Mutations
+/// (Insert/Erase/Restore) are serialized internally and publish a fresh
+/// snapshot; readers either pin a Snapshot() (concurrent-safe) or use the
+/// id-based accessors below (single-threaded convenience — the returned
+/// references are only guaranteed until the next mutation).
+class GraphStore {
+ public:
+  GraphStore();
+  GraphStore(GraphStore&& o) noexcept;
+  GraphStore& operator=(GraphStore&& o) noexcept;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Ingests one graph; returns its stable id (never reused).
+  int Insert(Graph g);
+  /// Back-compat alias for Insert.
+  int Add(Graph g) { return Insert(std::move(g)); }
+  /// Ingests every graph of a dataset, in order, as ONE mutation: ids
+  /// are assigned consecutively but a single snapshot (one epoch bump)
+  /// is published, so bulk ingest copies the entry vector once instead
+  /// of once per graph.
+  void AddAll(const std::vector<Graph>& graphs);
+  /// Removes the graph with the given id; returns false if absent. The id
+  /// is retired permanently and logged for bound-cache invalidation.
+  bool Erase(int id);
+
+  /// Number of graphs in the current snapshot.
+  int Size() const;
+  /// Epoch of the current snapshot; bumped by every mutation.
+  uint64_t Epoch() const;
+  /// Smallest id a future Insert can return; ids below it are spoken for.
+  int NextId() const;
+  bool Contains(int id) const;
+
+  /// Pins the current snapshot. O(1); the snapshot (and every graph in
+  /// it) stays alive and immutable while the pointer is held.
+  std::shared_ptr<const StoreSnapshot> Snapshot() const;
+
+  /// Atomically pins the current snapshot AND drains the erase log into
+  /// `erased` under one lock acquisition, so the drained ids are exactly
+  /// those retired up to the pinned snapshot's epoch. Cache consumers
+  /// need this atomicity: pinning and draining in two steps would let a
+  /// Restore land in between, whose retired ids the caller would consume
+  /// now yet whose rebinding it cannot see — entries it inserts against
+  /// the (older) pinned snapshot would then never be invalidated.
+  std::shared_ptr<const StoreSnapshot> SnapshotAndErased(
+      size_t* cursor, std::vector<int>* erased) const;
+
+  /// Id-based accessors against the current snapshot. The id must be
+  /// present (OTGED_CHECK). References are invalidated by mutations —
+  /// concurrent readers must hold a Snapshot() instead.
+  const Graph& graph(int id) const;
+  const GraphInvariants& invariants(int id) const;
+
+  /// Replaces the whole corpus (persistence load). `entries` must be
+  /// strictly increasing by id; invariants are recomputed from scratch.
+  /// Every previously present id is logged as erased so caches keyed on
+  /// this store drop entries whose id might now name a different graph.
+  /// The id counter only moves forward: max(current, next_id, max id + 1).
+  /// Returns false (store unchanged) when the id sequence is invalid.
+  bool Restore(std::vector<std::pair<int, Graph>> entries, int next_id);
+
+  /// Appends the ids erased since *cursor to the result and advances the
+  /// cursor; starting from a zero cursor replays the full erase history.
+  /// The log is monotone, so independent consumers each keep their own
+  /// cursor. Ids are never reused, which is why consumers may invalidate
+  /// lazily (a stale cache entry can never alias a new graph). The log
+  /// grows for the store's lifetime — one int per Erase, plus the prior
+  /// corpus on Restore — a deliberate trade-off for cursor independence;
+  /// under sustained churn measured in hundreds of millions of erases,
+  /// plan to recycle the store (e.g. via save/load into a fresh one).
+  std::vector<int> ErasedSince(size_t* cursor) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const StoreSnapshot> snap_;  ///< guarded by mu_
+  int next_id_ = 0;                            ///< guarded by mu_
+  std::vector<int> erase_log_;                 ///< guarded by mu_
 };
 
 }  // namespace otged

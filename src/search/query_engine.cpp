@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
+#include "graph/graph_io.hpp"
 #include "heuristics/bipartite.hpp"
 
 namespace otged {
@@ -17,16 +21,47 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-CascadeStats MergeWorkerStats(const std::vector<CascadeStats>& buffers) {
-  CascadeStats total;
-  for (const CascadeStats& s : buffers) total.Merge(s);
-  return total;
+// Identical queries in one batch are evaluated once and share the
+// result. Besides not paying twice, this keeps batch output
+// deterministic with the bound cache on: two tasks for the same
+// (fingerprint, graph) key racing a lookup against the other's insert
+// could otherwise settle on differently-tight (though always correct)
+// distances depending on scheduling. Fingerprint equality is confirmed
+// by comparing the actual graphs, so a 64-bit collision between
+// distinct queries degrades to two evaluations, never a shared answer.
+std::vector<int> DedupByFingerprint(const std::vector<const Graph*>& queries,
+                                    const std::vector<uint64_t>& fp,
+                                    std::vector<int>* uniq_of) {
+  std::vector<int> uniq;
+  std::unordered_multimap<uint64_t, int> by_fp;  // fp -> unique index
+  uniq_of->resize(fp.size());
+  for (size_t q = 0; q < fp.size(); ++q) {
+    int found = -1;
+    auto [lo, hi] = by_fp.equal_range(fp[q]);
+    for (auto it = lo; it != hi; ++it) {
+      if (*queries[uniq[it->second]] == *queries[q]) {
+        found = it->second;
+        break;
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int>(uniq.size());
+      uniq.push_back(static_cast<int>(q));
+      by_fp.emplace(fp[q], found);
+    }
+    (*uniq_of)[q] = found;
+  }
+  return uniq;
 }
 
 }  // namespace
 
 QueryEngine::QueryEngine(const GraphStore* store, const EngineOptions& opt)
-    : store_(store), cascade_(store, opt.cascade) {
+    : store_(store),
+      cascade_(opt.cascade),
+      use_cache_(opt.use_bound_cache),
+      cache_(opt.cache_capacity) {
+  OTGED_CHECK(store_ != nullptr);
   int threads = opt.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -35,114 +70,250 @@ QueryEngine::QueryEngine(const GraphStore* store, const EngineOptions& opt)
   pool_ = std::make_unique<WorkStealingPool>(threads);
 }
 
+std::shared_ptr<const StoreSnapshot> QueryEngine::PinSnapshot() const {
+  // Pin and drain atomically (one store-lock acquisition), then evict.
+  // Atomicity matters for Restore (the one mutation that can rebind an
+  // id): the drained ids are exactly those retired up to the pinned
+  // epoch, so entries for ids the pinned snapshot binds differently are
+  // evicted before any lookup, while a Restore landing after the pin
+  // leaves its log entries for the NEXT query's drain — which also
+  // covers anything this query inserts against the older binding. For
+  // plain Erase the drain is hygiene, not correctness: ids are never
+  // reused, so a stale entry still holds the right distance.
+  if (!use_cache_) return store_->Snapshot();
+  std::vector<int> erased;
+  auto snap = store_->SnapshotAndErased(&erase_cursor_, &erased);
+  cache_.EraseGraphs(erased);
+  return snap;
+}
+
+CascadeVerdict QueryEngine::EvalPair(const Graph& query,
+                                     const QueryContext& qc,
+                                     const StoreSnapshot& snap, int slot,
+                                     int tau, bool need_distance,
+                                     CascadeStats* stats) const {
+  const int gid = snap.id(slot);
+  if (use_cache_) {
+    if (std::optional<int> ged = cache_.Lookup(qc.fp, gid)) {
+      stats->candidates++;
+      stats->cache_hits++;
+      CascadeVerdict v;
+      v.within = *ged <= tau;
+      v.ged = *ged;
+      v.exact_distance = true;
+      v.tier = CascadeTier::kCache;
+      return v;
+    }
+  }
+  CascadeVerdict v =
+      cascade_.BoundedDistance(query, qc.qi, snap.graph(slot),
+                               snap.invariants(slot), tau, need_distance,
+                               stats);
+  if (use_cache_ && v.exact_distance) cache_.Insert(qc.fp, gid, v.ged);
+  return v;
+}
+
+std::vector<RangeResult> QueryEngine::RangeBatchLocked(
+    const std::vector<const Graph*>& queries, int tau) const {
+  auto start = std::chrono::steady_clock::now();
+  auto snap = PinSnapshot();
+  const int n = snap->Size();
+  const int nq = static_cast<int>(queries.size());
+
+  std::vector<uint64_t> fp(nq);
+  for (int q = 0; q < nq; ++q) fp[q] = GraphContentFingerprint(*queries[q]);
+  std::vector<int> uniq_of;
+  const std::vector<int> uniq = DedupByFingerprint(queries, fp, &uniq_of);
+  const int nu = static_cast<int>(uniq.size());
+
+  std::vector<QueryContext> ctx(nu);
+  for (int u = 0; u < nu; ++u)
+    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]]};
+
+  const int64_t total = static_cast<int64_t>(nu) * n;
+  std::vector<CascadeVerdict> verdicts(total);
+  std::vector<std::vector<CascadeStats>> worker_stats(
+      pool_->num_threads(), std::vector<CascadeStats>(nu));
+  if (total > 0) {
+    pool_->ParallelFor(total, /*grain=*/4, [&](int64_t t, int worker) {
+      const int u = static_cast<int>(t / n);
+      const int slot = static_cast<int>(t % n);
+      verdicts[t] = EvalPair(*queries[uniq[u]], ctx[u], *snap, slot, tau,
+                             /*need_distance=*/false,
+                             &worker_stats[worker][u]);
+    });
+  }
+  const double wall = ElapsedMs(start);
+
+  std::vector<RangeResult> uniq_res(nu);
+  for (int u = 0; u < nu; ++u) {
+    RangeResult& res = uniq_res[u];
+    for (int slot = 0; slot < n; ++slot) {
+      const CascadeVerdict& v = verdicts[static_cast<int64_t>(u) * n + slot];
+      if (v.within)
+        res.hits.push_back({snap->id(slot), v.ged, v.exact_distance});
+    }
+    for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
+    res.stats.wall_ms = wall;
+    res.stats.epoch = snap->epoch();
+  }
+  std::vector<RangeResult> out(nq);
+  for (int q = 0; q < nq; ++q) out[q] = uniq_res[uniq_of[q]];
+  return out;
+}
+
+std::vector<TopKResult> QueryEngine::TopKBatchLocked(
+    const std::vector<const Graph*>& queries, int k) const {
+  auto start = std::chrono::steady_clock::now();
+  auto snap = PinSnapshot();
+  const int n = snap->Size();
+  const int nq = static_cast<int>(queries.size());
+  std::vector<TopKResult> out(nq);
+  const int kk = std::min(k, n);
+  if (kk <= 0 || nq == 0) {
+    const double wall = ElapsedMs(start);
+    for (TopKResult& res : out) {
+      res.stats.wall_ms = wall;
+      res.stats.epoch = snap->epoch();
+    }
+    return out;
+  }
+
+  std::vector<uint64_t> fp(nq);
+  for (int q = 0; q < nq; ++q) fp[q] = GraphContentFingerprint(*queries[q]);
+  std::vector<int> uniq_of;
+  const std::vector<int> uniq = DedupByFingerprint(queries, fp, &uniq_of);
+  const int nu = static_cast<int>(uniq.size());
+
+  std::vector<QueryContext> ctx(nu);
+  for (int u = 0; u < nu; ++u)
+    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]]};
+
+  // --- phase A: invariant lower bound for every (query, graph) pair ----
+  std::vector<int> lb(static_cast<size_t>(nu) * n);
+  pool_->ParallelFor(static_cast<int64_t>(nu) * n, /*grain=*/64,
+                     [&](int64_t t, int) {
+                       const int u = static_cast<int>(t / n);
+                       const int slot = static_cast<int>(t % n);
+                       lb[t] = InvariantLowerBound(ctx[u].qi,
+                                                   snap->invariants(slot));
+                     });
+
+  // --- phase B: cap each query's k-th best distance ---------------------
+  // Per query, the kk candidates with the smallest (lb, slot) each admit
+  // a feasible edit path no longer than their Classic upper bound (or
+  // their cached exact distance, when known); the largest of those kk
+  // upper bounds caps the true k-th best distance.
+  std::vector<int> seeds(static_cast<size_t>(nu) * kk);
+  for (int u = 0; u < nu; ++u) {
+    const int* row = lb.data() + static_cast<size_t>(u) * n;
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + (kk - 1), order.end(),
+                     [&](int a, int b) {
+                       return row[a] != row[b] ? row[a] < row[b] : a < b;
+                     });
+    std::copy(order.begin(), order.begin() + kk,
+              seeds.begin() + static_cast<size_t>(u) * kk);
+  }
+  std::vector<int> seed_ub(static_cast<size_t>(nu) * kk);
+  pool_->ParallelFor(static_cast<int64_t>(nu) * kk, /*grain=*/1,
+                     [&](int64_t t, int) {
+                       const int u = static_cast<int>(t / kk);
+                       const int slot = seeds[t];
+                       if (use_cache_) {
+                         if (std::optional<int> ged =
+                                 cache_.Lookup(ctx[u].fp, snap->id(slot))) {
+                           seed_ub[t] = *ged;
+                           return;
+                         }
+                       }
+                       auto [g1, g2] = OrderBySize(*queries[uniq[u]],
+                                                   snap->graph(slot));
+                       seed_ub[t] = ClassicGed(*g1, *g2).ged;
+                     });
+  std::vector<int> tau0(nu);
+  for (int u = 0; u < nu; ++u)
+    tau0[u] = *std::max_element(
+        seed_ub.begin() + static_cast<size_t>(u) * kk,
+        seed_ub.begin() + static_cast<size_t>(u + 1) * kk);
+
+  // --- phase C: exact verification of surviving candidates -------------
+  std::vector<std::pair<int, int>> tasks;  ///< (unique query, slot)
+  std::vector<long> screened(nu, 0);
+  for (int u = 0; u < nu; ++u) {
+    for (int slot = 0; slot < n; ++slot) {
+      if (lb[static_cast<size_t>(u) * n + slot] <= tau0[u])
+        tasks.emplace_back(u, slot);
+      else
+        ++screened[u];
+    }
+  }
+  std::vector<CascadeVerdict> verdicts(tasks.size());
+  std::vector<std::vector<CascadeStats>> worker_stats(
+      pool_->num_threads(), std::vector<CascadeStats>(nu));
+  pool_->ParallelFor(static_cast<int64_t>(tasks.size()), /*grain=*/2,
+                     [&](int64_t t, int worker) {
+                       const auto [u, slot] = tasks[t];
+                       verdicts[t] = EvalPair(*queries[uniq[u]], ctx[u],
+                                              *snap, slot, tau0[u],
+                                              /*need_distance=*/true,
+                                              &worker_stats[worker][u]);
+                     });
+  const double wall = ElapsedMs(start);
+
+  std::vector<TopKResult> uniq_res(nu);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const auto [u, slot] = tasks[t];
+    if (verdicts[t].within)
+      uniq_res[u].hits.push_back(
+          {snap->id(slot), verdicts[t].ged, verdicts[t].exact_distance});
+  }
+  for (int u = 0; u < nu; ++u) {
+    TopKResult& res = uniq_res[u];
+    std::sort(res.hits.begin(), res.hits.end(),
+              [](const TopKHit& a, const TopKHit& b) {
+                return a.ged != b.ged ? a.ged < b.ged : a.id < b.id;
+              });
+    if (static_cast<int>(res.hits.size()) > kk) res.hits.resize(kk);
+    for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
+    // Phase A screened all n candidates; fold the ones that never reached
+    // the cascade into its tier-0 counter so the stats describe the query.
+    res.stats.cascade.candidates += screened[u];
+    res.stats.cascade.pruned_invariant += screened[u];
+    res.stats.wall_ms = wall;
+    res.stats.epoch = snap->epoch();
+  }
+  for (int q = 0; q < nq; ++q) out[q] = uniq_res[uniq_of[q]];
+  return out;
+}
+
 RangeResult QueryEngine::Range(const Graph& query, int tau) const {
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
-  auto start = std::chrono::steady_clock::now();
-  const int n = store_->Size();
-  const GraphInvariants qi = ComputeInvariants(query);
-
-  std::vector<CascadeVerdict> verdicts(n);
-  std::vector<CascadeStats> worker_stats(pool_->num_threads());
-  pool_->ParallelFor(n, /*grain=*/4, [&](int64_t i, int worker) {
-    verdicts[i] = cascade_.BoundedDistance(query, qi, static_cast<int>(i),
-                                           tau, /*need_distance=*/false,
-                                           &worker_stats[worker]);
-  });
-
-  RangeResult res;
-  for (int i = 0; i < n; ++i) {
-    if (verdicts[i].within)
-      res.hits.push_back({i, verdicts[i].ged, verdicts[i].exact_distance});
-  }
-  res.stats.cascade = MergeWorkerStats(worker_stats);
-  res.stats.wall_ms = ElapsedMs(start);
-  return res;
+  return std::move(RangeBatchLocked({&query}, tau).front());
 }
 
 TopKResult QueryEngine::TopK(const Graph& query, int k) const {
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
-  auto start = std::chrono::steady_clock::now();
-  TopKResult res;
-  const int n = store_->Size();
-  k = std::min(k, n);
-  if (k <= 0) {
-    res.stats.wall_ms = ElapsedMs(start);
-    return res;
-  }
-  const GraphInvariants qi = ComputeInvariants(query);
-
-  // --- phase A: invariant lower bound for every stored graph -----------
-  std::vector<int> lb(n);
-  pool_->ParallelFor(n, /*grain=*/64, [&](int64_t i, int) {
-    lb[i] = InvariantLowerBound(qi, store_->invariants(static_cast<int>(i)));
-  });
-
-  // --- phase B: cap the k-th best distance ------------------------------
-  // The k candidates with the smallest (lb, id) each admit a feasible
-  // edit path no longer than their Classic upper bound; the largest of
-  // those k upper bounds therefore caps the true k-th best distance.
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
-  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
-                   [&](int a, int b) {
-                     return lb[a] != lb[b] ? lb[a] < lb[b] : a < b;
-                   });
-  std::vector<int> seeds(order.begin(), order.begin() + k);
-  std::vector<int> seed_ub(k);
-  pool_->ParallelFor(k, /*grain=*/1, [&](int64_t s, int) {
-    auto [g1, g2] = OrderBySize(query, store_->graph(seeds[s]));
-    seed_ub[s] = ClassicGed(*g1, *g2).ged;
-  });
-  const int tau0 = *std::max_element(seed_ub.begin(), seed_ub.end());
-
-  // --- phase C: exact verification of surviving candidates -------------
-  std::vector<int> survivors;
-  for (int i = 0; i < n; ++i)
-    if (lb[i] <= tau0) survivors.push_back(i);
-
-  std::vector<CascadeVerdict> verdicts(survivors.size());
-  std::vector<CascadeStats> worker_stats(pool_->num_threads());
-  pool_->ParallelFor(static_cast<int64_t>(survivors.size()), /*grain=*/2,
-                     [&](int64_t s, int worker) {
-                       verdicts[s] = cascade_.BoundedDistance(
-                           query, qi, survivors[s], tau0,
-                           /*need_distance=*/true, &worker_stats[worker]);
-                     });
-
-  for (size_t s = 0; s < survivors.size(); ++s)
-    if (verdicts[s].within)
-      res.hits.push_back(
-          {survivors[s], verdicts[s].ged, verdicts[s].exact_distance});
-  std::sort(res.hits.begin(), res.hits.end(),
-            [](const TopKHit& a, const TopKHit& b) {
-              return a.ged != b.ged ? a.ged < b.ged : a.id < b.id;
-            });
-  if (static_cast<int>(res.hits.size()) > k) res.hits.resize(k);
-
-  // Phase A screened all n candidates; fold the ones that never reached
-  // the cascade into its tier-0 counter so the stats describe the query.
-  res.stats.cascade = MergeWorkerStats(worker_stats);
-  const long screened = n - static_cast<long>(survivors.size());
-  res.stats.cascade.candidates += screened;
-  res.stats.cascade.pruned_invariant += screened;
-  res.stats.wall_ms = ElapsedMs(start);
-  return res;
+  return std::move(TopKBatchLocked({&query}, k).front());
 }
 
 std::vector<RangeResult> QueryEngine::RangeBatch(
     const std::vector<Graph>& queries, int tau) const {
-  std::vector<RangeResult> out;
-  out.reserve(queries.size());
-  for (const Graph& q : queries) out.push_back(Range(q, tau));
-  return out;
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const Graph& q : queries) ptrs.push_back(&q);
+  return RangeBatchLocked(ptrs, tau);
 }
 
 std::vector<TopKResult> QueryEngine::TopKBatch(
     const std::vector<Graph>& queries, int k) const {
-  std::vector<TopKResult> out;
-  out.reserve(queries.size());
-  for (const Graph& q : queries) out.push_back(TopK(q, k));
-  return out;
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const Graph& q : queries) ptrs.push_back(&q);
+  return TopKBatchLocked(ptrs, k);
 }
 
 }  // namespace otged

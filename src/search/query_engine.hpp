@@ -1,13 +1,23 @@
 /// \file query_engine.hpp
-/// \brief Parallel filter–verify query serving over a GraphStore.
+/// \brief Parallel filter–verify query serving over a dynamic GraphStore.
 ///
 /// The engine answers range queries (all graphs with GED(q, g) <= tau)
 /// and top-k queries (the k nearest graphs by exact GED, ties broken by
 /// id) by driving the FilterCascade over a work-stealing thread pool.
-/// Results are bit-identical for any thread count: parallel loops write
-/// into per-candidate slots and statistics are merged from per-worker
-/// buffers with commutative sums, so scheduling order never leaks into
-/// the output.
+/// Every query pins one StoreSnapshot for its whole lifetime, so serving
+/// interleaves safely with GraphStore::Insert/Erase: the result is exact
+/// for the snapshot whose epoch is reported in QueryStats. Results are
+/// bit-identical for any thread count: parallel loops write into
+/// per-candidate slots and statistics are merged from per-worker buffers
+/// with commutative sums, so scheduling order never leaks into the output.
+///
+/// Pairs whose exact distance the cascade proves are remembered in a
+/// sharded LRU bound cache keyed by (query content fingerprint, stable
+/// graph id); repeat queries skip every tier for cached pairs. Only
+/// proven-exact distances are cached — a pure function of the pair — so
+/// warm results stay correct and deterministic for any tau. Entries of an
+/// erased graph are invalidated lazily at the next query (stable ids are
+/// never reused, so stale entries can never alias a new graph).
 ///
 /// Top-k runs in three deterministic phases:
 ///   A. invariant lower bounds for every stored graph (parallel, O(n));
@@ -23,6 +33,7 @@
 #include <mutex>
 #include <vector>
 
+#include "search/bound_cache.hpp"
 #include "search/filter_cascade.hpp"
 #include "search/graph_store.hpp"
 #include "search/work_stealing_pool.hpp"
@@ -32,20 +43,24 @@ namespace otged {
 struct EngineOptions {
   int num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
   CascadeOptions cascade;
+  bool use_bound_cache = true;    ///< cache proven-exact pair distances
+  size_t cache_capacity = 65536;  ///< bound-cache entry budget
 };
 
 /// Per-query serving telemetry.
 struct QueryStats {
-  double wall_ms = 0.0;    ///< wall time of this query
+  double wall_ms = 0.0;    ///< wall time of this query (for a batch, the
+                           ///< whole batch's wall time)
+  uint64_t epoch = 0;      ///< store epoch the query was served against
   CascadeStats cascade;    ///< tier-by-tier pruning and solver counts
 };
 
-/// One range-query hit. `ged` is the best distance the cascade needed to
-/// establish membership: exact when `exact_distance`, otherwise a
-/// feasible upper bound (normally <= tau; it can exceed tau only when
-/// the exact tier exhausted its budget, in which case the candidate is
-/// kept conservatively — the cascade never dismisses without an
-/// admissible-bound proof).
+/// One range-query hit. `id` is the stable GraphStore id. `ged` is the
+/// best distance the engine needed to establish membership: exact when
+/// `exact_distance`, otherwise a feasible upper bound (normally <= tau;
+/// it can exceed tau only when the exact tier exhausted its budget, in
+/// which case the candidate is kept conservatively — the cascade never
+/// dismisses without an admissible-bound proof).
 struct RangeHit {
   int id = -1;
   int ged = -1;
@@ -71,10 +86,12 @@ struct TopKResult {
   QueryStats stats;
 };
 
-/// Thread-safe for concurrent callers: each query monopolizes the engine's
-/// pool (queries parallelize internally over candidates), so concurrent
-/// Range/TopK calls on one engine serialize against each other rather
-/// than interleave on the non-reentrant pool.
+/// Thread-safe for concurrent callers: each call (single query or batch)
+/// monopolizes the engine's non-reentrant pool, so concurrent calls on
+/// one engine queue up behind each other; inside a call, candidates — and
+/// for batches, all (query, candidate) pairs at once — spread over every
+/// worker. Store mutations never block serving: a call pins the snapshot
+/// current at its start and is oblivious to later Insert/Erase.
 class QueryEngine {
  public:
   explicit QueryEngine(const GraphStore* store,
@@ -87,9 +104,17 @@ class QueryEngine {
   /// The k nearest graphs by exact GED, ascending (ged, id).
   TopKResult TopK(const Graph& query, int k) const;
 
-  /// Batch variants: queries are answered one at a time, each spreading
-  /// its candidate set over the full pool, so per-query latency stays flat
-  /// while the batch saturates every thread.
+  /// Batch variants: all queries share one snapshot and one pool pass per
+  /// phase — the (query x candidate) pair grid is flattened into a single
+  /// parallel loop, so a straggler pair of one query overlaps with other
+  /// queries' work instead of idling the pool at a per-query barrier.
+  /// Each result equals the corresponding single-query call on the same
+  /// snapshot and cache state; `stats.wall_ms` reports the batch wall.
+  /// Identical queries in one batch are evaluated once and share one
+  /// result (so their entries are always byte-identical to each other;
+  /// serving them as *sequential* single calls could instead tighten the
+  /// later twin's non-exact distances from the cache the earlier one
+  /// warmed).
   std::vector<RangeResult> RangeBatch(const std::vector<Graph>& queries,
                                       int tau) const;
   std::vector<TopKResult> TopKBatch(const std::vector<Graph>& queries,
@@ -97,12 +122,39 @@ class QueryEngine {
 
   const GraphStore& store() const { return *store_; }
   int num_threads() const { return pool_->num_threads(); }
+  /// Current bound-cache occupancy (proven-exact pairs retained).
+  size_t CacheSize() const { return cache_.Size(); }
 
  private:
+  /// Per-query precomputation shared by all of its pair evaluations.
+  struct QueryContext {
+    GraphInvariants qi;
+    uint64_t fp = 0;  ///< content fingerprint (bound-cache key half)
+  };
+
+  /// Answers one (query, snapshot slot) pair: bound cache first, then the
+  /// cascade; proven-exact outcomes are written back to the cache.
+  CascadeVerdict EvalPair(const Graph& query, const QueryContext& qc,
+                          const StoreSnapshot& snap, int slot, int tau,
+                          bool need_distance, CascadeStats* stats) const;
+
+  /// Pins the current snapshot, first draining the store's erase log into
+  /// cache invalidations. Requires serve_mu_ held.
+  std::shared_ptr<const StoreSnapshot> PinSnapshot() const;
+
+  /// Shared-pass implementations; require serve_mu_ held.
+  std::vector<RangeResult> RangeBatchLocked(
+      const std::vector<const Graph*>& queries, int tau) const;
+  std::vector<TopKResult> TopKBatchLocked(
+      const std::vector<const Graph*>& queries, int k) const;
+
   const GraphStore* store_;
   FilterCascade cascade_;
   std::unique_ptr<WorkStealingPool> pool_;
-  mutable std::mutex serve_mu_;  ///< one query at a time on the pool
+  mutable std::mutex serve_mu_;  ///< one call at a time on the pool
+  bool use_cache_;
+  mutable BoundCache cache_;
+  mutable size_t erase_cursor_ = 0;  ///< erase-log position; serve_mu_
 };
 
 }  // namespace otged

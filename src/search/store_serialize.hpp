@@ -1,0 +1,51 @@
+/// \file store_serialize.hpp
+/// \brief Versioned binary persistence of a GraphStore, following the
+/// nn/serialize conventions: magic + fixed-width fields, multi-byte
+/// scalars in host byte order (the graph section from graph_io is
+/// little-endian), so files are not portable to an opposite-endian host
+/// — there they fail cleanly on the magic/checksum validation.
+///
+/// File layout (version 1):
+///   uint64  magic "OTGSTOR1"
+///   uint32  format version
+///   uint32  reserved (zero)
+///   payload:
+///     int64   next_id          (id counter, so reloads never reuse ids)
+///     uint64  entry count
+///     entry*: int64 id
+///             graph          (canonical binary encoding, graph_io)
+///             invariants     (n, m int32; wl_hash uint64;
+///                             n int32 labels; n int32 degrees)
+///   uint64  FNV-1a checksum of the payload bytes
+///
+/// Load validates magic, version and checksum, then *recomputes* every
+/// graph's invariants and rejects the file on any mismatch with the
+/// stored ones — so a successful load is guaranteed bit-identical to a
+/// rebuild from the same graphs, and silent corruption of either the
+/// graphs or the index cannot slip through.
+#ifndef OTGED_SEARCH_STORE_SERIALIZE_HPP_
+#define OTGED_SEARCH_STORE_SERIALIZE_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "search/graph_store.hpp"
+
+namespace otged {
+
+inline constexpr uint32_t kStoreFormatVersion = 1;
+
+/// Serializes the store's current snapshot to `path`. Returns false on
+/// I/O failure (with `error` describing it).
+bool SaveGraphStore(const GraphStore& store, const std::string& path,
+                    std::string* error = nullptr);
+
+/// Replaces `store`'s contents with the file's. On any failure (I/O, bad
+/// magic/version, checksum mismatch, malformed entries, invariant
+/// mismatch) returns false and leaves the store untouched.
+bool LoadGraphStore(GraphStore* store, const std::string& path,
+                    std::string* error = nullptr);
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_STORE_SERIALIZE_HPP_

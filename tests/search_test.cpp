@@ -272,6 +272,79 @@ TEST(QueryEngineTest, DeterministicAcrossThreadCounts) {
   }
 }
 
+/// Acceptance property of the batch API: RangeBatch/TopKBatch return
+/// exactly what the corresponding sequence of single-query calls returns
+/// — same ids, same distances, same exactness flags. Checked both with
+/// the bound cache disabled (covers duplicate queries in one batch) and
+/// with the default cache on distinct queries.
+TEST(QueryEngineTest, BatchEqualsPerQueryCalls) {
+  GraphStore store = MakeSmallStore(40, 3, 29);
+  Rng rng(61);
+  std::vector<Graph> queries;
+  for (int q = 0; q < 4; ++q)
+    queries.push_back(RandomConnectedGraph(rng.UniformInt(4, 7),
+                                           rng.UniformInt(0, 2), 3, &rng));
+
+  auto check = [&](EngineOptions opt, const std::vector<Graph>& qs) {
+    QueryEngine single(&store, opt);
+    QueryEngine batched(&store, opt);
+    for (int tau : {1, 3}) {
+      std::vector<RangeResult> batch = batched.RangeBatch(qs, tau);
+      ASSERT_EQ(batch.size(), qs.size());
+      for (size_t q = 0; q < qs.size(); ++q) {
+        RangeResult one = single.Range(qs[q], tau);
+        ASSERT_EQ(batch[q].hits.size(), one.hits.size())
+            << "tau=" << tau << " q=" << q;
+        for (size_t i = 0; i < one.hits.size(); ++i) {
+          EXPECT_EQ(batch[q].hits[i].id, one.hits[i].id);
+          EXPECT_EQ(batch[q].hits[i].ged, one.hits[i].ged);
+          EXPECT_EQ(batch[q].hits[i].exact_distance,
+                    one.hits[i].exact_distance);
+        }
+      }
+    }
+    for (int k : {1, 6, 50 /* > Size() */}) {
+      QueryEngine s2(&store, opt), b2(&store, opt);
+      std::vector<TopKResult> batch = b2.TopKBatch(qs, k);
+      for (size_t q = 0; q < qs.size(); ++q) {
+        TopKResult one = s2.TopK(qs[q], k);
+        ASSERT_EQ(batch[q].hits.size(), one.hits.size())
+            << "k=" << k << " q=" << q;
+        for (size_t i = 0; i < one.hits.size(); ++i) {
+          EXPECT_EQ(batch[q].hits[i].id, one.hits[i].id);
+          EXPECT_EQ(batch[q].hits[i].ged, one.hits[i].ged);
+        }
+      }
+    }
+  };
+
+  EngineOptions cached;
+  cached.num_threads = 2;
+  check(cached, queries);
+
+  // With the cache off, even a duplicated query in one batch must match
+  // its per-query twin bit for bit.
+  EngineOptions uncached;
+  uncached.num_threads = 2;
+  uncached.use_bound_cache = false;
+  std::vector<Graph> with_dup = queries;
+  with_dup.push_back(queries[0]);
+  check(uncached, with_dup);
+
+  // With the cache on, duplicates in one batch share one evaluation, so
+  // their entries are byte-identical to each other for any thread count.
+  QueryEngine dup_engine(&store, cached);
+  std::vector<RangeResult> dup = dup_engine.RangeBatch(with_dup, 3);
+  const RangeResult& a = dup.front();
+  const RangeResult& b = dup.back();
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].id, b.hits[i].id);
+    EXPECT_EQ(a.hits[i].ged, b.hits[i].ged);
+    EXPECT_EQ(a.hits[i].exact_distance, b.hits[i].exact_distance);
+  }
+}
+
 TEST(QueryEngineTest, CascadeTiersActuallyPrune) {
   // On a corpus with diverse sizes, most candidates must die in the
   // cheap tiers for a small tau — the whole point of filter–verify.
