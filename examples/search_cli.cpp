@@ -1,7 +1,7 @@
 /// \file search_cli.cpp
 /// \brief Command-line front end for the filter–verify search engine.
 ///
-/// Two modes:
+/// Three modes:
 ///
 /// One-shot (original interface): builds a synthetic corpus, ingests it
 /// into a GraphStore, and serves range or top-k queries, printing
@@ -14,6 +14,13 @@
 ///     queries  number of queries to serve       (default 5)
 ///     threads  worker threads, 0 = hardware     (default 0)
 ///
+/// Metrics (`search_cli metrics [dataset] [count] [queries] [threads]`):
+/// resets the process metrics registry, serves a range + top-k workload,
+/// reconciles the registry's cascade counters against the summed
+/// QueryStats of the same run (they must match exactly, or the command
+/// exits 1), then exports the registry twice — Prometheus text after the
+/// `--- prometheus ---` marker, JSON after the `--- json ---` marker.
+///
 /// REPL (`search_cli repl [threads]`): drives one dynamic GraphStore +
 /// QueryEngine with commands from stdin, exercising mutation, persistence
 /// and batched serving:
@@ -25,7 +32,9 @@
 ///   range <tau> <n>          serve n synthetic queries, one at a time
 ///   topk <k> <n>             same, top-k
 ///   batch <tau> <n>          serve n queries as one RangeBatch pool pass
-///   info                     store size / epoch / bound-cache occupancy
+///   info                     store size / epoch / cache occupancy, plus a
+///                            metrics snapshot (cache hit rate, per-tier
+///                            settle fractions)
 ///   quit
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +46,8 @@
 #include "graph/graph_io.hpp"
 #include "search/query_engine.hpp"
 #include "search/store_serialize.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace otged;
 
@@ -68,6 +79,111 @@ void PrintRange(const RangeResult& res, int tau) {
     std::printf(" %d(ged%s%d)", h.id, h.exact_distance ? "=" : "<=", h.ged);
   std::printf("\n");
   PrintStats(res.stats);
+}
+
+/// One-line digest of the process metrics registry: bound-cache hit rate
+/// and the fraction of candidate pairs each tier settled.
+void PrintMetricsSnapshot() {
+  const telemetry::MetricsSnapshot snap = telemetry::Registry().Snapshot();
+  const long hits = snap.CounterValue("otged_bound_cache_hits_total");
+  const long misses = snap.CounterValue("otged_bound_cache_misses_total");
+  const long lookups = hits + misses;
+  const long candidates =
+      snap.CounterValue("otged_cascade_candidates_total");
+  std::printf("cache hit rate %.1f%% (%ld/%ld lookups)\n",
+              lookups ? 100.0 * hits / lookups : 0.0, hits, lookups);
+  if (candidates == 0) {
+    std::printf("no candidate pairs evaluated yet\n");
+    return;
+  }
+  struct {
+    const char* label;
+    const char* counter;
+  } tiers[] = {
+      {"invariant-pruned", "otged_cascade_pruned_total{tier=\"invariant\"}"},
+      {"identity-passed", "otged_cascade_passed_total{tier=\"invariant\"}"},
+      {"branch-pruned", "otged_cascade_pruned_total{tier=\"branch\"}"},
+      {"heuristic", "otged_cascade_decided_total{tier=\"heuristic\"}"},
+      {"ot", "otged_cascade_decided_total{tier=\"ot\"}"},
+      {"exact", "otged_cascade_decided_total{tier=\"exact\"}"},
+      {"cached", "otged_cascade_cache_hits_total"},
+  };
+  std::printf("%ld candidate pairs settled by:", candidates);
+  for (const auto& t : tiers)
+    std::printf(" %s %.1f%%", t.label,
+                100.0 * snap.CounterValue(t.counter) / candidates);
+  std::printf("\n");
+}
+
+/// `search_cli metrics`: serve a workload, then prove the exported
+/// counters say the same thing as the per-query stats.
+int RunMetrics(const std::string& dataset, int count, int num_queries,
+               int threads) {
+  telemetry::Registry().Reset();
+  Rng rng(7);
+  GraphStore store;
+  std::vector<Graph> corpus;
+  corpus.reserve(count);
+  for (int i = 0; i < count; ++i)
+    corpus.push_back(MakeQueryGraph(dataset, &rng));
+  store.AddAll(corpus);
+
+  EngineOptions opt;
+  opt.num_threads = threads;
+  opt.cascade.exact_budget = 500'000;
+  QueryEngine engine(&store, opt);
+  std::printf("corpus: %d %s graphs | %d worker threads | serving %d range "
+              "+ %d top-k queries\n",
+              store.Size(), dataset.c_str(), engine.num_threads(),
+              num_queries, num_queries);
+
+  CascadeStats total;
+  for (int q = 0; q < num_queries; ++q) {
+    Graph query = MakeQueryGraph(dataset, &rng);
+    total.Merge(engine.Range(query, 3).stats.cascade);
+    total.Merge(engine.TopK(query, 5).stats.cascade);
+  }
+
+  const telemetry::MetricsSnapshot snap = telemetry::Registry().Snapshot();
+  struct {
+    const char* counter;
+    long expected;
+  } rows[] = {
+      {"otged_cascade_candidates_total", total.candidates},
+      {"otged_cascade_pruned_total{tier=\"invariant\"}",
+       total.pruned_invariant},
+      {"otged_cascade_passed_total{tier=\"invariant\"}",
+       total.passed_invariant},
+      {"otged_cascade_pruned_total{tier=\"branch\"}", total.pruned_branch},
+      {"otged_cascade_decided_total{tier=\"heuristic\"}",
+       total.decided_heuristic},
+      {"otged_cascade_decided_total{tier=\"ot\"}", total.decided_ot},
+      {"otged_cascade_decided_total{tier=\"exact\"}", total.decided_exact},
+      {"otged_cascade_cache_hits_total", total.cache_hits},
+      {"otged_cascade_ot_calls_total", total.ot_calls},
+      {"otged_cascade_exact_calls_total", total.exact_calls},
+      {"otged_cascade_exact_incomplete_total", total.exact_incomplete},
+  };
+  bool ok = total.SettledTotal() == total.candidates;
+  std::printf("\nreconciliation (registry counter vs summed QueryStats):\n");
+  std::printf("  settled-by-some-tier %ld vs candidates %ld  [%s]\n",
+              total.SettledTotal(), total.candidates,
+              ok ? "PASS" : "FAIL");
+  for (const auto& row : rows) {
+    // Absent counter == never incremented: a call site registers its
+    // metric on first increment, so a workload with e.g. zero cache hits
+    // legitimately leaves that counter unregistered.
+    const long got = snap.CounterValue(row.counter, 0);
+    const bool match = got == row.expected;
+    ok = ok && match;
+    std::printf("  %-52s %8ld vs %8ld  [%s]\n", row.counter, got,
+                row.expected, match ? "PASS" : "FAIL");
+  }
+
+  std::printf("\n--- prometheus ---\n%s",
+              telemetry::ToPrometheusText(snap).c_str());
+  std::printf("\n--- json ---\n%s", telemetry::ToJson(snap).c_str());
+  return ok ? 0 : 1;
 }
 
 int RunRepl(int threads) {
@@ -166,6 +282,7 @@ int RunRepl(int threads) {
                   store.Size(),
                   static_cast<unsigned long long>(store.Epoch()),
                   store.NextId(), engine.CacheSize());
+      PrintMetricsSnapshot();
     } else {
       std::printf("unknown command: %s\n", op.c_str());
     }
@@ -178,6 +295,11 @@ int RunRepl(int threads) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "repl") == 0)
     return RunRepl(argc > 2 ? std::atoi(argv[2]) : 0);
+  if (argc > 1 && std::strcmp(argv[1], "metrics") == 0)
+    return RunMetrics(argc > 2 ? argv[2] : "aids",
+                      argc > 3 ? std::atoi(argv[3]) : 120,
+                      argc > 4 ? std::atoi(argv[4]) : 4,
+                      argc > 5 ? std::atoi(argv[5]) : 0);
 
   std::string dataset = argc > 1 ? argv[1] : "aids";
   int count = argc > 2 ? std::atoi(argv[2]) : 200;

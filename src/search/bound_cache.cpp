@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "telemetry/metrics.hpp"
+
 namespace otged {
 
 namespace {
 constexpr size_t kNumShards = 16;
+
+constexpr const char* kHitsName = "otged_bound_cache_hits_total";
+constexpr const char* kMissesName = "otged_bound_cache_misses_total";
 }
 
 BoundCache::BoundCache(size_t capacity)
@@ -21,7 +26,11 @@ std::optional<int> BoundCache::Lookup(uint64_t query_fp, int graph_id) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) return std::nullopt;
+  if (it == shard.map.end()) {
+    OTGED_COUNT(kMissesName, "bound-cache lookups that found no entry");
+    return std::nullopt;
+  }
+  OTGED_COUNT(kHitsName, "bound-cache lookups answered from the cache");
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -37,9 +46,13 @@ void BoundCache::Insert(uint64_t query_fp, int graph_id, int exact_ged) {
     return;
   }
   if (shard.map.size() >= shard_capacity_) {
+    OTGED_COUNT("otged_bound_cache_evictions_total",
+                "entries evicted by a shard's LRU at capacity");
     shard.map.erase(shard.lru.back().first);
     shard.lru.pop_back();
   }
+  OTGED_COUNT("otged_bound_cache_inserts_total",
+              "proven-exact distances recorded in the bound cache");
   shard.lru.emplace_front(key, exact_ged);
   shard.map.emplace(key, shard.lru.begin());
 }
@@ -51,17 +64,23 @@ void BoundCache::EraseGraph(int graph_id) {
 void BoundCache::EraseGraphs(const std::vector<int>& graph_ids) {
   if (graph_ids.empty()) return;
   const std::unordered_set<int> retired(graph_ids.begin(), graph_ids.end());
+  long invalidated = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (retired.count(it->first.id) != 0) {
         shard->map.erase(it->first);
         it = shard->lru.erase(it);
+        ++invalidated;
       } else {
         ++it;
       }
     }
   }
+  if (invalidated > 0)
+    OTGED_COUNT_N("otged_bound_cache_invalidations_total",
+                  "entries dropped because their graph id was retired",
+                  invalidated);
 }
 
 void BoundCache::Clear() {

@@ -55,6 +55,7 @@ enum class CascadeTier : int {
 struct CascadeStats {
   long candidates = 0;        ///< pairs fed into the cascade
   long pruned_invariant = 0;  ///< dismissed by tier 0 alone
+  long passed_invariant = 0;  ///< settled by the tier-0 identity fast path
   long pruned_branch = 0;     ///< dismissed by the tier-1 LB
   long decided_heuristic = 0; ///< decided by the tier-2 UB (incl. LB==UB)
   long decided_ot = 0;        ///< decided by the tier-3 OT bound
@@ -67,6 +68,25 @@ struct CascadeStats {
   void Merge(const CascadeStats& o);
   /// Fraction of candidates dismissed before any OT or exact solver ran.
   double PrunedBeforeSolvers() const;
+  /// Every candidate is settled by exactly one tier (or the cache), so
+  /// this always equals `candidates` — telemetry reconciliation relies
+  /// on it.
+  long SettledTotal() const {
+    return pruned_invariant + passed_invariant + pruned_branch +
+           decided_heuristic + decided_ot + decided_exact + cache_hits;
+  }
+};
+
+/// Optional per-candidate probe filled by BoundedDistance: the bound
+/// values and solver effort behind one verdict, plus wall time spent in
+/// each tier entered. This is the raw material of a TraceEvent — the
+/// QueryEngine passes a probe only when tracing is enabled, so the
+/// cascade pays for clock reads only when someone is looking.
+struct CascadeProbe {
+  int lb = -1;              ///< best admissible lower bound established
+  int ub = -1;              ///< best feasible upper bound (-1: none)
+  long exact_expansions = 0;  ///< branch-and-bound nodes visited
+  double tier_us[5] = {0, 0, 0, 0, 0};  ///< wall us per tier entered
 };
 
 /// Outcome of a bounded-distance evaluation.
@@ -94,8 +114,8 @@ class FilterCascade {
   CascadeVerdict BoundedDistance(const Graph& query,
                                  const GraphInvariants& qi, const Graph& g,
                                  const GraphInvariants& gi, int tau,
-                                 bool need_distance,
-                                 CascadeStats* stats) const;
+                                 bool need_distance, CascadeStats* stats,
+                                 CascadeProbe* probe = nullptr) const;
 
   const CascadeOptions& options() const { return opt_; }
 

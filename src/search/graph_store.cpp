@@ -5,6 +5,15 @@
 #include <cstdlib>
 
 #include "graph/wl_hash.hpp"
+#include "telemetry/metrics.hpp"
+
+#define OTGED_STORE_GAUGES(snap)                                          \
+  do {                                                                    \
+    OTGED_GAUGE_SET("otged_store_epoch", "epoch of the published snapshot", \
+                    static_cast<long>((snap)->epoch_));                   \
+    OTGED_GAUGE_SET("otged_store_size", "graphs in the published snapshot", \
+                    (snap)->Size());                                      \
+  } while (0)
 
 namespace otged {
 
@@ -119,6 +128,8 @@ int GraphStore::Insert(Graph g) {
   next->entries_.push_back(std::move(entry));
   const int id = next->entries_.back()->id;
   snap_ = std::move(next);
+  OTGED_COUNT("otged_store_inserts_total", "graphs ingested into the store");
+  OTGED_STORE_GAUGES(snap_);
   return id;
 }
 
@@ -144,6 +155,10 @@ void GraphStore::AddAll(const std::vector<Graph>& graphs) {
     next->entries_.push_back(std::move(entry));
   }
   snap_ = std::move(next);
+  OTGED_COUNT_N("otged_store_inserts_total",
+                "graphs ingested into the store",
+                static_cast<long>(pending.size()));
+  OTGED_STORE_GAUGES(snap_);
 }
 
 bool GraphStore::Erase(int id) {
@@ -156,6 +171,8 @@ bool GraphStore::Erase(int id) {
   next->entries_.erase(next->entries_.begin() + slot);
   snap_ = std::move(next);
   erase_log_.push_back(id);
+  OTGED_COUNT("otged_store_erases_total", "graphs erased from the store");
+  OTGED_STORE_GAUGES(snap_);
   return true;
 }
 
@@ -181,6 +198,8 @@ bool GraphStore::Contains(int id) const {
 
 std::shared_ptr<const StoreSnapshot> GraphStore::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  OTGED_COUNT("otged_store_snapshot_pins_total",
+              "snapshots pinned by readers");
   return snap_;
 }
 
@@ -194,6 +213,8 @@ std::shared_ptr<const StoreSnapshot> GraphStore::SnapshotAndErased(
                    erase_log_.end());
     *cursor = erase_log_.size();
   }
+  OTGED_COUNT("otged_store_snapshot_pins_total",
+              "snapshots pinned by readers");
   return snap_;
 }
 
@@ -234,6 +255,9 @@ bool GraphStore::Restore(std::vector<std::pair<int, Graph>> entries,
   next->epoch_ = snap_->epoch_ + 1;
   next_id_ = std::max({next_id_, next_id, max_id + 1});
   snap_ = std::move(next);
+  OTGED_COUNT("otged_store_restores_total",
+              "whole-corpus replacements (persistence loads)");
+  OTGED_STORE_GAUGES(snap_);
   return true;
 }
 

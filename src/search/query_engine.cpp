@@ -1,7 +1,9 @@
 #include "search/query_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <thread>
@@ -10,6 +12,8 @@
 
 #include "graph/graph_io.hpp"
 #include "heuristics/bipartite.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace otged {
 
@@ -20,6 +24,44 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Allocates `n` consecutive process-unique query trace ids, returning
+/// the first. Ids start at 1 so 0 always means "untraced".
+uint64_t NextTraceIds(int n) {
+  static std::atomic<uint64_t> seq{1};
+  return seq.fetch_add(static_cast<uint64_t>(n),
+                       std::memory_order_relaxed);
+}
+
+/// Per-query completion times within one batch pool pass. Each worker
+/// overwrites its own (worker, query) cell after finishing a pair — the
+/// value is monotone within a worker, so the max over workers is the
+/// time the query's last pair completed. No atomics, no contention.
+class QueryWallClock {
+ public:
+  QueryWallClock(int workers, int nu,
+                 std::chrono::steady_clock::time_point start)
+      : start_(start), nu_(nu),
+        done_ms_(static_cast<size_t>(workers) * nu, 0.0) {}
+
+  void MarkDone(int worker, int u) {
+    done_ms_[static_cast<size_t>(worker) * nu_ + u] = ElapsedMs(start_);
+  }
+
+  /// Wall time of query `u`, falling back to `batch_ms` for queries that
+  /// never ran a pair (empty corpus).
+  double WallMs(int u, double batch_ms) const {
+    double wall = 0.0;
+    for (size_t w = 0; w * nu_ + u < done_ms_.size(); ++w)
+      wall = std::max(wall, done_ms_[w * nu_ + u]);
+    return wall > 0.0 ? wall : batch_ms;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  size_t nu_;
+  std::vector<double> done_ms_;
+};
 
 // Identical queries in one batch are evaluated once and share the
 // result. Besides not paying twice, this keeps batch output
@@ -93,23 +135,60 @@ CascadeVerdict QueryEngine::EvalPair(const Graph& query,
                                      int tau, bool need_distance,
                                      CascadeStats* stats) const {
   const int gid = snap.id(slot);
+  const bool tracing =
+      OTGED_TELEMETRY_ON() && telemetry::GlobalTrace().enabled();
+  const double t0 = tracing ? telemetry::NowUs() : 0.0;
   if (use_cache_) {
     if (std::optional<int> ged = cache_.Lookup(qc.fp, gid)) {
       stats->candidates++;
       stats->cache_hits++;
+      // Mirror both stats into the global counters: a cache hit is a
+      // candidate the cascade never saw, so the cascade's own candidate
+      // counter must be topped up here for totals to reconcile.
+      OTGED_COUNT("otged_cascade_candidates_total",
+                  "candidate pairs fed into the filter cascade");
+      OTGED_COUNT("otged_cascade_cache_hits_total",
+                  "candidate pairs answered from the bound cache");
       CascadeVerdict v;
       v.within = *ged <= tau;
       v.ged = *ged;
       v.exact_distance = true;
       v.tier = CascadeTier::kCache;
+      if (tracing) {
+        telemetry::TraceEvent e;
+        e.query_id = qc.trace_id;
+        e.graph_id = gid;
+        e.tier = static_cast<int>(v.tier);
+        e.ged = v.ged;
+        e.within = v.within;
+        e.exact = true;
+        e.cache_hit = true;
+        e.total_us = telemetry::NowUs() - t0;
+        telemetry::GlobalTrace().Record(e);
+      }
       return v;
     }
   }
-  CascadeVerdict v =
-      cascade_.BoundedDistance(query, qc.qi, snap.graph(slot),
-                               snap.invariants(slot), tau, need_distance,
-                               stats);
+  CascadeProbe probe;
+  CascadeVerdict v = cascade_.BoundedDistance(
+      query, qc.qi, snap.graph(slot), snap.invariants(slot), tau,
+      need_distance, stats, tracing ? &probe : nullptr);
   if (use_cache_ && v.exact_distance) cache_.Insert(qc.fp, gid, v.ged);
+  if (tracing) {
+    telemetry::TraceEvent e;
+    e.query_id = qc.trace_id;
+    e.graph_id = gid;
+    e.tier = static_cast<int>(v.tier);
+    e.lb = probe.lb;
+    e.ub = probe.ub;
+    e.ged = v.ged;
+    e.within = v.within;
+    e.exact = v.exact_distance;
+    e.exact_expansions = probe.exact_expansions;
+    std::copy(probe.tier_us, probe.tier_us + 5, e.tier_us);
+    e.total_us = telemetry::NowUs() - t0;
+    telemetry::GlobalTrace().Record(e);
+  }
   return v;
 }
 
@@ -126,14 +205,17 @@ std::vector<RangeResult> QueryEngine::RangeBatchLocked(
   const std::vector<int> uniq = DedupByFingerprint(queries, fp, &uniq_of);
   const int nu = static_cast<int>(uniq.size());
 
+  const uint64_t trace_base = NextTraceIds(nu);
   std::vector<QueryContext> ctx(nu);
   for (int u = 0; u < nu; ++u)
-    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]]};
+    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]],
+              trace_base + static_cast<uint64_t>(u)};
 
   const int64_t total = static_cast<int64_t>(nu) * n;
   std::vector<CascadeVerdict> verdicts(total);
   std::vector<std::vector<CascadeStats>> worker_stats(
       pool_->num_threads(), std::vector<CascadeStats>(nu));
+  QueryWallClock wall_clock(pool_->num_threads(), nu, start);
   if (total > 0) {
     pool_->ParallelFor(total, /*grain=*/4, [&](int64_t t, int worker) {
       const int u = static_cast<int>(t / n);
@@ -141,9 +223,15 @@ std::vector<RangeResult> QueryEngine::RangeBatchLocked(
       verdicts[t] = EvalPair(*queries[uniq[u]], ctx[u], *snap, slot, tau,
                              /*need_distance=*/false,
                              &worker_stats[worker][u]);
+      wall_clock.MarkDone(worker, u);
     });
   }
   const double wall = ElapsedMs(start);
+  OTGED_COUNT_N("otged_queries_total{kind=\"range\"}",
+                "range queries served", nq);
+  OTGED_HIST_RECORD("otged_batch_latency_us{kind=\"range\"}",
+                    "wall time of one serving call (single or batch)",
+                    std::lround(wall * 1000.0));
 
   std::vector<RangeResult> uniq_res(nu);
   for (int u = 0; u < nu; ++u) {
@@ -154,8 +242,12 @@ std::vector<RangeResult> QueryEngine::RangeBatchLocked(
         res.hits.push_back({snap->id(slot), v.ged, v.exact_distance});
     }
     for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
-    res.stats.wall_ms = wall;
+    res.stats.wall_ms = wall_clock.WallMs(u, wall);
     res.stats.epoch = snap->epoch();
+    res.stats.trace_id = ctx[u].trace_id;
+    OTGED_HIST_RECORD("otged_query_latency_us{kind=\"range\"}",
+                      "per-query serving latency",
+                      std::lround(res.stats.wall_ms * 1000.0));
   }
   std::vector<RangeResult> out(nq);
   for (int q = 0; q < nq; ++q) out[q] = uniq_res[uniq_of[q]];
@@ -185,9 +277,12 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
   const std::vector<int> uniq = DedupByFingerprint(queries, fp, &uniq_of);
   const int nu = static_cast<int>(uniq.size());
 
+  const uint64_t trace_base = NextTraceIds(nu);
   std::vector<QueryContext> ctx(nu);
   for (int u = 0; u < nu; ++u)
-    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]]};
+    ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]],
+              trace_base + static_cast<uint64_t>(u)};
+  QueryWallClock wall_clock(pool_->num_threads(), nu, start);
 
   // --- phase A: invariant lower bound for every (query, graph) pair ----
   std::vector<int> lb(static_cast<size_t>(nu) * n);
@@ -218,19 +313,21 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
   }
   std::vector<int> seed_ub(static_cast<size_t>(nu) * kk);
   pool_->ParallelFor(static_cast<int64_t>(nu) * kk, /*grain=*/1,
-                     [&](int64_t t, int) {
+                     [&](int64_t t, int worker) {
                        const int u = static_cast<int>(t / kk);
                        const int slot = seeds[t];
                        if (use_cache_) {
                          if (std::optional<int> ged =
                                  cache_.Lookup(ctx[u].fp, snap->id(slot))) {
                            seed_ub[t] = *ged;
+                           wall_clock.MarkDone(worker, u);
                            return;
                          }
                        }
                        auto [g1, g2] = OrderBySize(*queries[uniq[u]],
                                                    snap->graph(slot));
                        seed_ub[t] = ClassicGed(*g1, *g2).ged;
+                       wall_clock.MarkDone(worker, u);
                      });
   std::vector<int> tau0(nu);
   for (int u = 0; u < nu; ++u)
@@ -259,8 +356,14 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
                                               *snap, slot, tau0[u],
                                               /*need_distance=*/true,
                                               &worker_stats[worker][u]);
+                       wall_clock.MarkDone(worker, u);
                      });
   const double wall = ElapsedMs(start);
+  OTGED_COUNT_N("otged_queries_total{kind=\"topk\"}",
+                "top-k queries served", nq);
+  OTGED_HIST_RECORD("otged_batch_latency_us{kind=\"topk\"}",
+                    "wall time of one serving call (single or batch)",
+                    std::lround(wall * 1000.0));
 
   std::vector<TopKResult> uniq_res(nu);
   for (size_t t = 0; t < tasks.size(); ++t) {
@@ -278,11 +381,24 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
     if (static_cast<int>(res.hits.size()) > kk) res.hits.resize(kk);
     for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
     // Phase A screened all n candidates; fold the ones that never reached
-    // the cascade into its tier-0 counter so the stats describe the query.
+    // the cascade into its tier-0 counter so the stats describe the query
+    // — and mirror the fold into the global counters so Prometheus totals
+    // keep reconciling with summed QueryStats.
     res.stats.cascade.candidates += screened[u];
     res.stats.cascade.pruned_invariant += screened[u];
-    res.stats.wall_ms = wall;
+    OTGED_COUNT_N("otged_cascade_candidates_total",
+                  "candidate pairs fed into the filter cascade",
+                  screened[u]);
+    OTGED_COUNT_N("otged_cascade_pruned_total{tier=\"invariant\"}",
+                  "pairs dismissed by an admissible lower bound at this "
+                  "tier",
+                  screened[u]);
+    res.stats.wall_ms = wall_clock.WallMs(u, wall);
     res.stats.epoch = snap->epoch();
+    res.stats.trace_id = ctx[u].trace_id;
+    OTGED_HIST_RECORD("otged_query_latency_us{kind=\"topk\"}",
+                      "per-query serving latency",
+                      std::lround(res.stats.wall_ms * 1000.0));
   }
   for (int q = 0; q < nq; ++q) out[q] = uniq_res[uniq_of[q]];
   return out;

@@ -49,38 +49,45 @@ struct EngineOptions {
 
 /// Per-query serving telemetry.
 struct QueryStats {
-  double wall_ms = 0.0;    ///< wall time of this query (for a batch, the
-                           ///< whole batch's wall time)
+  double wall_ms = 0.0;    ///< latency of this query: for a single call,
+                           ///< its wall time; within a batch, the time
+                           ///< from batch start until this query's last
+                           ///< pair evaluation completed — so batch-served
+                           ///< queries report individual latencies instead
+                           ///< of all inheriting the whole-batch wall
   uint64_t epoch = 0;      ///< store epoch the query was served against
+  uint64_t trace_id = 0;   ///< process-unique query id; TraceEvents carry
+                           ///< it (duplicate queries in a batch share one)
   CascadeStats cascade;    ///< tier-by-tier pruning and solver counts
 };
 
-/// One range-query hit. `id` is the stable GraphStore id. `ged` is the
-/// best distance the engine needed to establish membership: exact when
-/// `exact_distance`, otherwise a feasible upper bound (normally <= tau;
-/// it can exceed tau only when the exact tier exhausted its budget, in
-/// which case the candidate is kept conservatively — the cascade never
-/// dismisses without an admissible-bound proof).
-struct RangeHit {
+/// One search hit, shared by range and top-k results. `id` is the stable
+/// GraphStore id. `ged` is the best distance the engine needed for its
+/// decision: the exact distance iff `exact_distance`, otherwise a
+/// feasible upper bound (an unproven distance arises only when the exact
+/// tier exhausted its budget — the candidate is then kept conservatively,
+/// since the cascade never dismisses without an admissible-bound proof).
+///
+/// `exact_distance` defaults to false for every hit kind: a distance is
+/// only exact when a tier proved it, and every construction site must
+/// say so explicitly. (RangeHit and TopKHit used to be separate structs
+/// whose defaults silently disagreed — false vs true — which invited
+/// misreads in call sites that default-construct hits.)
+struct SearchHit {
   int id = -1;
   int ged = -1;
   bool exact_distance = false;
 };
+using RangeHit = SearchHit;
+using TopKHit = SearchHit;
 
 struct RangeResult {
   std::vector<RangeHit> hits;  ///< ascending by id
   QueryStats stats;
 };
 
-/// One top-k hit; `ged` is the exact distance (ties broken by id) unless
-/// the exact tier ran out of budget for this pair, in which case it is
-/// the best feasible upper bound and `exact_distance` is false.
-struct TopKHit {
-  int id = -1;
-  int ged = -1;
-  bool exact_distance = true;
-};
-
+/// Top-k hits are exact distances ascending (ged, id), except pairs whose
+/// exact tier ran out of budget (`exact_distance == false`).
 struct TopKResult {
   std::vector<TopKHit> hits;  ///< ascending by (ged, id)
   QueryStats stats;
@@ -109,7 +116,8 @@ class QueryEngine {
   /// parallel loop, so a straggler pair of one query overlaps with other
   /// queries' work instead of idling the pool at a per-query barrier.
   /// Each result equals the corresponding single-query call on the same
-  /// snapshot and cache state; `stats.wall_ms` reports the batch wall.
+  /// snapshot and cache state; `stats.wall_ms` reports each query's own
+  /// completion time within the batch (see QueryStats).
   /// Identical queries in one batch are evaluated once and share one
   /// result (so their entries are always byte-identical to each other;
   /// serving them as *sequential* single calls could instead tighten the
@@ -129,7 +137,8 @@ class QueryEngine {
   /// Per-query precomputation shared by all of its pair evaluations.
   struct QueryContext {
     GraphInvariants qi;
-    uint64_t fp = 0;  ///< content fingerprint (bound-cache key half)
+    uint64_t fp = 0;        ///< content fingerprint (bound-cache key half)
+    uint64_t trace_id = 0;  ///< process-unique id stamped on TraceEvents
   };
 
   /// Answers one (query, snapshot slot) pair: bound cache first, then the

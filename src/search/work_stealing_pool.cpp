@@ -4,6 +4,13 @@
 #include <chrono>
 
 #include "core/check.hpp"
+#include "telemetry/metrics.hpp"
+
+// Outstanding (not yet claimed) ranges across every deque; a coarse
+// backlog signal, not an exact instantaneous census.
+#define OTGED_POOL_QUEUE_GAUGE(n)                                         \
+  OTGED_GAUGE_ADD("otged_pool_queued_ranges",                             \
+                  "work ranges sitting in deques awaiting execution", (n))
 
 namespace otged {
 
@@ -30,8 +37,12 @@ void WorkStealingPool::ParallelFor(
     int64_t n, int grain, const std::function<void(int64_t, int)>& body) {
   if (n <= 0) return;
   OTGED_CHECK(grain >= 1);
+  OTGED_COUNT("otged_pool_parallel_fors_total",
+              "parallel loops dispatched to the pool");
   if (num_threads_ == 1 || n <= grain) {
     for (int64_t i = 0; i < n; ++i) body(i, 0);
+    OTGED_COUNT_N("otged_pool_tasks_total",
+                  "loop indices executed by the pool", n);
     return;
   }
   {
@@ -48,6 +59,7 @@ void WorkStealingPool::ParallelFor(
       if (lo < hi) {
         std::lock_guard<std::mutex> dlock(deques_[w]->mu);
         deques_[w]->ranges.push_back({lo, hi});
+        OTGED_POOL_QUEUE_GAUGE(+1);
       }
     }
     ++epoch_;
@@ -103,6 +115,9 @@ void WorkStealingPool::RunLoop(int worker) {
         stolen = StealTop(victim, &r);
         victim = (victim + 1) % num_threads_;
       }
+      if (stolen)
+        OTGED_COUNT("otged_pool_steals_total",
+                    "ranges stolen from another worker's deque");
       if (!stolen) {
         if (++dry_sweeps < 16) {
           std::this_thread::yield();
@@ -118,9 +133,12 @@ void WorkStealingPool::RunLoop(int worker) {
     if (r.hi - r.lo > grain_) {
       std::lock_guard<std::mutex> lock(deques_[worker]->mu);
       deques_[worker]->ranges.push_back({r.lo + grain_, r.hi});
+      OTGED_POOL_QUEUE_GAUGE(+1);
       r.hi = r.lo + grain_;
     }
     for (int64_t i = r.lo; i < r.hi; ++i) (*body)(i, worker);
+    OTGED_COUNT_N("otged_pool_tasks_total",
+                  "loop indices executed by the pool", r.hi - r.lo);
     if (remaining_.fetch_sub(r.hi - r.lo, std::memory_order_acq_rel) ==
         r.hi - r.lo) {
       done_cv_.notify_all();
@@ -134,6 +152,7 @@ bool WorkStealingPool::PopBottom(int worker, Range* out) {
   if (d.ranges.empty()) return false;
   *out = d.ranges.back();
   d.ranges.pop_back();
+  OTGED_POOL_QUEUE_GAUGE(-1);
   return true;
 }
 
@@ -143,6 +162,7 @@ bool WorkStealingPool::StealTop(int thief, Range* out) {
   if (d.ranges.empty()) return false;
   *out = d.ranges.front();
   d.ranges.pop_front();
+  OTGED_POOL_QUEUE_GAUGE(-1);
   return true;
 }
 

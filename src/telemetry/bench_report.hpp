@@ -1,0 +1,66 @@
+/// \file bench_report.hpp
+/// \brief Persisted `BENCH_*.json` performance-trajectory records.
+///
+/// Every serving benchmark distills its run into one flat JSON document
+/// committed at the repository root (e.g. `BENCH_search.json`), so the
+/// performance trajectory accumulates in git history: each revision's
+/// file carries the rev that produced it, and diffing the file across
+/// commits is the perf curve the ROADMAP asks re-anchors to read.
+///
+/// Schema (all keys always present; validated by
+/// `tools/validate_bench_json.py` in the CI bench-smoke job):
+///
+///   {
+///     "bench":        string   benchmark name
+///     "git_rev":      string   producing revision ("unknown" outside git)
+///     "timestamp":    integer  unix seconds at write time
+///     "threads":      integer  worker threads used
+///     "corpus_size":  integer  graphs in the store
+///     "num_queries":  integer  queries timed
+///     "qps":          number   queries per second
+///     "latency_ms":   {"p50": number, "p95": number, "p99": number}
+///     "tier_fractions": {"invariant","branch","heuristic","ot","exact",
+///                        "cache": number}   fraction of candidate pairs
+///                                           settled per tier (sums to 1)
+///     "cache_hit_rate": number  bound-cache hits / candidate pairs
+///   }
+#ifndef OTGED_TELEMETRY_BENCH_REPORT_HPP_
+#define OTGED_TELEMETRY_BENCH_REPORT_HPP_
+
+#include <string>
+#include <vector>
+
+namespace otged {
+namespace telemetry {
+
+struct BenchReport {
+  std::string bench;
+  int threads = 0;
+  int corpus_size = 0;
+  int num_queries = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Indexed by CascadeTier (0..5: invariant, branch, heuristic, ot,
+  /// exact, cache); fraction of candidate pairs settled by each tier.
+  double tier_fractions[6] = {0, 0, 0, 0, 0, 0};
+  double cache_hit_rate = 0.0;
+};
+
+/// The current git revision: $GITHUB_SHA if set, else `git rev-parse
+/// HEAD`, else "unknown". Never fails.
+std::string GitRevision();
+
+/// Nearest-rank percentile of a latency sample set; q in [0, 1].
+double PercentileOf(std::vector<double> samples, double q);
+
+/// Serializes `report` (git_rev and timestamp are stamped here) to
+/// `path`. Returns false and fills `error` on I/O failure.
+bool WriteBenchJson(const BenchReport& report, const std::string& path,
+                    std::string* error);
+
+}  // namespace telemetry
+}  // namespace otged
+
+#endif  // OTGED_TELEMETRY_BENCH_REPORT_HPP_

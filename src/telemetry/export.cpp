@@ -1,0 +1,128 @@
+#include "telemetry/export.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace otged {
+namespace telemetry {
+
+namespace {
+
+/// Splits `name{key="v"}` into family and label body (no braces).
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        close == std::string::npos || close <= brace
+                            ? std::string::npos
+                            : close - brace - 1);
+}
+
+void AppendFmt(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendFmt(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+/// `# HELP` / `# TYPE` header, emitted once per family.
+void EmitHeader(std::string* out, std::string* last_family,
+                const std::string& family, const std::string& help,
+                const char* type) {
+  if (family == *last_family) return;
+  *last_family = family;
+  if (!help.empty())
+    AppendFmt(out, "# HELP %s %s\n", family.c_str(), help.c_str());
+  AppendFmt(out, "# TYPE %s %s\n", family.c_str(), type);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string family, labels, last_family;
+
+  for (const auto& c : snap.counters) {
+    SplitName(c.name, &family, &labels);
+    EmitHeader(&out, &last_family, family, c.help, "counter");
+    AppendFmt(&out, "%s %ld\n", c.name.c_str(), c.value);
+  }
+  for (const auto& g : snap.gauges) {
+    SplitName(g.name, &family, &labels);
+    EmitHeader(&out, &last_family, family, g.help, "gauge");
+    AppendFmt(&out, "%s %ld\n", g.name.c_str(), g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    SplitName(h.name, &family, &labels);
+    EmitHeader(&out, &last_family, family, h.help, "histogram");
+    const std::string label_prefix =
+        labels.empty() ? "{" : "{" + labels + ",";
+    long cumulative = 0;
+    for (const auto& [bucket, count] : h.hist.buckets) {
+      cumulative += count;
+      AppendFmt(&out, "%s_bucket%sle=\"%ld\"} %ld\n", family.c_str(),
+                label_prefix.c_str(), HistogramBuckets::UpperBound(bucket),
+                cumulative);
+    }
+    AppendFmt(&out, "%s_bucket%sle=\"+Inf\"} %ld\n", family.c_str(),
+              label_prefix.c_str(), h.hist.count);
+    const std::string label_suffix = labels.empty() ? "" : "{" + labels + "}";
+    AppendFmt(&out, "%s_sum%s %ld\n", family.c_str(), label_suffix.c_str(),
+              h.hist.sum);
+    AppendFmt(&out, "%s_count%s %ld\n", family.c_str(), label_suffix.c_str(),
+              h.hist.count);
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i)
+    AppendFmt(&out, "%s\n    \"%s\": %ld", i == 0 ? "" : ",",
+              JsonEscape(snap.counters[i].name).c_str(),
+              snap.counters[i].value);
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i)
+    AppendFmt(&out, "%s\n    \"%s\": %ld", i == 0 ? "" : ",",
+              JsonEscape(snap.gauges[i].name).c_str(), snap.gauges[i].value);
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    AppendFmt(&out,
+              "%s\n    \"%s\": {\"count\": %ld, \"sum\": %ld, "
+              "\"mean\": %.2f, \"p50\": %.1f, \"p90\": %.1f, \"p95\": %.1f, "
+              "\"p99\": %.1f, \"max\": %ld}",
+              i == 0 ? "" : ",", JsonEscape(h.name).c_str(), h.hist.count,
+              h.hist.sum, h.hist.Mean(), h.hist.Percentile(0.50),
+              h.hist.Percentile(0.90), h.hist.Percentile(0.95),
+              h.hist.Percentile(0.99), h.hist.Max());
+  }
+  out += snap.histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace otged

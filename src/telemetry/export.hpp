@@ -1,0 +1,31 @@
+/// \file export.hpp
+/// \brief Render a MetricsSnapshot as Prometheus text or JSON.
+///
+/// Both exporters work on a detached MetricsSnapshot, so scraping never
+/// blocks the hot path. Metric names may carry inline Prometheus labels
+/// (`name{key="v"}`); the Prometheus exporter groups label variants under
+/// one `# TYPE` family and splices the `le` label into histogram bucket
+/// lines, emitting only non-empty buckets (cumulatively) plus `+Inf`,
+/// `_sum` and `_count`. The JSON exporter reports histograms as summary
+/// objects (count / sum / mean / p50 / p90 / p95 / p99 / max) — the shape
+/// `search_cli metrics` and the bench reports consume.
+#ifndef OTGED_TELEMETRY_EXPORT_HPP_
+#define OTGED_TELEMETRY_EXPORT_HPP_
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace otged {
+namespace telemetry {
+
+/// Prometheus text exposition format (version 0.0.4).
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.
+std::string ToJson(const MetricsSnapshot& snap);
+
+}  // namespace telemetry
+}  // namespace otged
+
+#endif  // OTGED_TELEMETRY_EXPORT_HPP_

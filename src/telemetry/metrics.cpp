@@ -1,0 +1,192 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/check.hpp"
+
+namespace otged {
+namespace telemetry {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local int stripe =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(kStripes));
+  return stripe;
+}
+
+}  // namespace internal
+
+// ------------------------------------------------------------- histogram
+
+int HistogramBuckets::BucketOf(long v) {
+  if (v < 0) v = 0;
+  if (v < kLinear) return static_cast<int>(v);
+  const int major = std::bit_width(static_cast<uint64_t>(v)) - 1;
+  if (major > kMaxMajor) return kCount - 1;
+  const int sub = static_cast<int>((v >> (major - kSubBits)) & (kSub - 1));
+  return kLinear + (major - kSubBits - 1) * kSub + sub;
+}
+
+long HistogramBuckets::LowerBound(int b) {
+  if (b < kLinear) return b;
+  const int major = kSubBits + 1 + (b - kLinear) / kSub;
+  const int sub = (b - kLinear) % kSub;
+  return static_cast<long>(kSub + sub) << (major - kSubBits);
+}
+
+long HistogramBuckets::UpperBound(int b) {
+  if (b < kLinear) return b;
+  if (b == kCount - 1) return LowerBound(b);  // open-ended top bucket
+  return LowerBound(b + 1) - 1;
+}
+
+double HistogramBuckets::Midpoint(int b) {
+  if (b < kLinear) return b;
+  return 0.5 * (static_cast<double>(LowerBound(b)) +
+                static_cast<double>(UpperBound(b)));
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(q * count) samples.
+  long rank = static_cast<long>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  long seen = 0;
+  for (const auto& [bucket, c] : buckets) {
+    seen += c;
+    if (seen >= rank) return HistogramBuckets::Midpoint(bucket);
+  }
+  return HistogramBuckets::Midpoint(buckets.back().first);
+}
+
+long HistogramSnapshot::Max() const {
+  if (buckets.empty()) return 0;
+  return HistogramBuckets::UpperBound(buckets.back().first);
+}
+
+Histogram::Histogram()
+    : buckets_(static_cast<size_t>(internal::kStripes) *
+               HistogramBuckets::kCount) {}
+
+void Histogram::Record(long value) {
+  const int stripe = internal::ThreadStripe();
+  const int bucket = HistogramBuckets::BucketOf(value);
+  buckets_[static_cast<size_t>(stripe) * HistogramBuckets::kCount + bucket]
+      .fetch_add(1, std::memory_order_relaxed);
+  stripes_[stripe].sum.fetch_add(value < 0 ? 0 : value,
+                                 std::memory_order_relaxed);
+  stripes_[stripe].count.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  std::vector<long> totals(HistogramBuckets::kCount, 0);
+  for (int s = 0; s < internal::kStripes; ++s) {
+    const size_t base = static_cast<size_t>(s) * HistogramBuckets::kCount;
+    for (int b = 0; b < HistogramBuckets::kCount; ++b)
+      totals[b] += buckets_[base + b].load(std::memory_order_relaxed);
+    snap.sum += stripes_[s].sum.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < HistogramBuckets::kCount; ++b) {
+    if (totals[b] != 0) {
+      snap.buckets.emplace_back(b, totals[b]);
+      snap.count += totals[b];
+    }
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& s : stripes_) {
+    s.sum.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTGED_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                      histograms_.find(name) == histograms_.end(),
+                  "metric name registered with a different kind");
+  auto& entry = counters_[name];
+  if (!entry.metric) entry.metric = std::make_unique<Counter>();
+  if (entry.help.empty()) entry.help = help;
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTGED_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                      histograms_.find(name) == histograms_.end(),
+                  "metric name registered with a different kind");
+  auto& entry = gauges_[name];
+  if (!entry.metric) entry.metric = std::make_unique<Gauge>();
+  if (entry.help.empty()) entry.help = help;
+  return *entry.metric;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTGED_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                      gauges_.find(name) == gauges_.end(),
+                  "metric name registered with a different kind");
+  auto& entry = histograms_[name];
+  if (!entry.metric) entry.metric = std::make_unique<Histogram>();
+  if (entry.help.empty()) entry.help = help;
+  return *entry.metric;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : counters_)
+    snap.counters.push_back({name, entry.help, entry.metric->Value()});
+  for (const auto& [name, entry] : gauges_)
+    snap.gauges.push_back({name, entry.help, entry.metric->Value()});
+  for (const auto& [name, entry] : histograms_)
+    snap.histograms.push_back({name, entry.help, entry.metric->Snapshot()});
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) entry.metric->Reset();
+  for (auto& [name, entry] : gauges_) entry.metric->Reset();
+  for (auto& [name, entry] : histograms_) entry.metric->Reset();
+}
+
+long MetricsSnapshot::CounterValue(const std::string& name,
+                                   long fallback) const {
+  for (const auto& c : counters)
+    if (c.name == name) return c.value;
+  return fallback;
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+}  // namespace telemetry
+}  // namespace otged

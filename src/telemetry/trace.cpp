@@ -1,0 +1,115 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+
+namespace otged {
+namespace telemetry {
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity ? capacity : 1;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+}
+
+size_t TraceSink::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::Drain() {
+  std::vector<TraceEvent> out = Events();
+  Clear();
+  return out;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+size_t TraceSink::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceSink::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceSink::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceSink::DumpJson() const {
+  const std::vector<TraceEvent> events = Events();
+  uint64_t recorded, dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded = recorded_;
+    dropped = dropped_;
+  }
+  std::string out = "[";
+  char buf[512];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n  {\"query_id\": %llu, \"graph_id\": %d, \"tier\": %d, "
+        "\"lb\": %d, \"ub\": %d, \"ged\": %d, \"within\": %s, "
+        "\"exact\": %s, \"cache_hit\": %s, \"exact_expansions\": %ld, "
+        "\"tier_us\": [%.1f, %.1f, %.1f, %.1f, %.1f], \"total_us\": %.1f}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(e.query_id),
+        e.graph_id, e.tier, e.lb, e.ub, e.ged, e.within ? "true" : "false",
+        e.exact ? "true" : "false", e.cache_hit ? "true" : "false",
+        e.exact_expansions, e.tier_us[0], e.tier_us[1], e.tier_us[2],
+        e.tier_us[3], e.tier_us[4], e.total_us);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%s\n  {\"meta\": {\"recorded\": %llu, \"dropped\": %llu, "
+                "\"buffered\": %zu}}\n]",
+                events.empty() ? "" : ",",
+                static_cast<unsigned long long>(recorded),
+                static_cast<unsigned long long>(dropped), events.size());
+  out += buf;
+  return out;
+}
+
+TraceSink& GlobalTrace() {
+  static TraceSink* sink = new TraceSink();  // never dies
+  return *sink;
+}
+
+}  // namespace telemetry
+}  // namespace otged

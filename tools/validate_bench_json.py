@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json perf-trajectory record against its schema.
+
+Schema source of truth: src/telemetry/bench_report.hpp. Used by the CI
+bench-smoke job; exits nonzero with a per-violation message on failure.
+
+Usage: validate_bench_json.py BENCH_search.json
+"""
+import json
+import sys
+
+TIERS = ("invariant", "branch", "heuristic", "ot", "exact", "cache")
+
+
+def err(msg, problems):
+    problems.append(msg)
+
+
+def require(doc, key, kind, problems):
+    if key not in doc:
+        err(f"missing key {key!r}", problems)
+        return None
+    val = doc[key]
+    # bool is an int subclass in Python; reject it explicitly.
+    if isinstance(val, bool) or not isinstance(val, kind):
+        err(f"key {key!r}: expected {kind}, got {type(val).__name__}",
+            problems)
+        return None
+    return val
+
+
+def validate(doc, problems):
+    if not isinstance(doc, dict):
+        err("top level is not a JSON object", problems)
+        return
+
+    bench = require(doc, "bench", str, problems)
+    if bench is not None and not bench:
+        err("bench name is empty", problems)
+
+    rev = require(doc, "git_rev", str, problems)
+    if rev is not None and rev != "unknown":
+        if len(rev) not in (40, 64) or any(
+                c not in "0123456789abcdef" for c in rev):
+            err(f"git_rev {rev!r} is neither a hex SHA nor 'unknown'",
+                problems)
+
+    ts = require(doc, "timestamp", int, problems)
+    if ts is not None and ts <= 0:
+        err(f"timestamp {ts} is not positive", problems)
+
+    for key in ("threads", "corpus_size", "num_queries"):
+        val = require(doc, key, int, problems)
+        if val is not None and val <= 0:
+            err(f"{key} {val} is not positive", problems)
+
+    qps = require(doc, "qps", (int, float), problems)
+    if qps is not None and qps <= 0:
+        err(f"qps {qps} is not positive", problems)
+
+    lat = require(doc, "latency_ms", dict, problems)
+    if lat is not None:
+        for p in ("p50", "p95", "p99"):
+            val = require(lat, p, (int, float), problems)
+            if val is not None and val < 0:
+                err(f"latency_ms.{p} {val} is negative", problems)
+        if all(isinstance(lat.get(p), (int, float)) for p in
+               ("p50", "p95", "p99")):
+            if not lat["p50"] <= lat["p95"] <= lat["p99"]:
+                err("latency percentiles are not monotone "
+                    f"(p50={lat['p50']}, p95={lat['p95']}, "
+                    f"p99={lat['p99']})", problems)
+
+    fractions = require(doc, "tier_fractions", dict, problems)
+    if fractions is not None:
+        total = 0.0
+        complete = True
+        for tier in TIERS:
+            val = require(fractions, tier, (int, float), problems)
+            if val is None:
+                complete = False
+            elif not 0.0 <= val <= 1.0:
+                err(f"tier_fractions.{tier} {val} outside [0, 1]", problems)
+            else:
+                total += val
+        for extra in sorted(set(fractions) - set(TIERS)):
+            err(f"tier_fractions has unknown tier {extra!r}", problems)
+        # Every candidate pair is settled by exactly one tier, so the
+        # fractions partition 1 (up to the 4-decimal serialization).
+        if complete and abs(total - 1.0) > 0.01:
+            err(f"tier_fractions sum to {total:.4f}, expected 1", problems)
+
+    rate = require(doc, "cache_hit_rate", (int, float), problems)
+    if rate is not None and not 0.0 <= rate <= 1.0:
+        err(f"cache_hit_rate {rate} outside [0, 1]", problems)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 1
+    problems = []
+    validate(doc, problems)
+    for problem in problems:
+        print(f"{path}: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"{path}: OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
