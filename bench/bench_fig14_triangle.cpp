@@ -5,7 +5,7 @@
 /// methods preserve the property in > 95% of cases; GEDIOT/GEDHOT ~99.9%
 /// on AIDS.
 #include "bench_common.hpp"
-#include "metrics/metrics.hpp"
+#include "eval/metrics.hpp"
 
 using namespace otged;
 using namespace otged::bench;

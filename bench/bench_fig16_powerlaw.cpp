@@ -83,8 +83,9 @@ int main() {
       double secs =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      std::printf("%-5d %-8s %14.3f %14.2f\n", n, e.name,
-                  rel / pairs.size(), secs / pairs.size() * 100);
+      const double np = static_cast<double>(pairs.size());
+      std::printf("%-5d %-8s %14.3f %14.2f\n", n, e.name, rel / np,
+                  secs / np * 100);
     }
   }
   return 0;

@@ -17,7 +17,8 @@ void RunDataset(DatasetKind kind) {
   std::printf("-- %s --\n", w.dataset.name.c_str());
   std::printf("%-8s %12s %10s %10s\n", "frac", "train(s)", "MAE", "Acc");
   for (double frac : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    size_t count = static_cast<size_t>(frac * w.pairs.train.size());
+    size_t count =
+        static_cast<size_t>(frac * static_cast<double>(w.pairs.train.size()));
     std::vector<GedPair> subset(w.pairs.train.begin(),
                                 w.pairs.train.begin() + count);
     GediotConfig cfg;

@@ -149,7 +149,8 @@ int main(int argc, char** argv) {
     for (const RangeResult& r : results) hits += r.hits.size();
     std::printf("  %d thread(s): %6.2f queries/s  (%zu queries, %ld hits, "
                 "%.2f s)\n",
-                threads, queries.size() / sec, queries.size(), hits, sec);
+                threads, static_cast<double>(queries.size()) / sec,
+                queries.size(), hits, sec);
   }
 
   // -------------------------------------------- 4. batch amortization
@@ -249,20 +250,25 @@ int main(int argc, char** argv) {
     report.threads = 4;
     report.corpus_size = store.Size();
     report.num_queries = static_cast<int>(latencies_ms.size());
-    report.qps = latencies_ms.size() / sec;
+    report.qps = static_cast<double>(latencies_ms.size()) / sec;
     report.p50_ms = telemetry::PercentileOf(latencies_ms, 0.50);
     report.p95_ms = telemetry::PercentileOf(latencies_ms, 0.95);
     report.p99_ms = telemetry::PercentileOf(latencies_ms, 0.99);
     const double cand = static_cast<double>(
         slo_total.candidates > 0 ? slo_total.candidates : 1);
     report.tier_fractions[0] =
-        (slo_total.pruned_invariant + slo_total.passed_invariant) / cand;
-    report.tier_fractions[1] = slo_total.pruned_branch / cand;
-    report.tier_fractions[2] = slo_total.decided_heuristic / cand;
-    report.tier_fractions[3] = slo_total.decided_ot / cand;
-    report.tier_fractions[4] = slo_total.decided_exact / cand;
-    report.tier_fractions[5] = slo_total.cache_hits / cand;
-    report.cache_hit_rate = slo_total.cache_hits / cand;
+        static_cast<double>(slo_total.pruned_invariant +
+                            slo_total.passed_invariant) /
+        cand;
+    report.tier_fractions[1] =
+        static_cast<double>(slo_total.pruned_branch) / cand;
+    report.tier_fractions[2] =
+        static_cast<double>(slo_total.decided_heuristic) / cand;
+    report.tier_fractions[3] = static_cast<double>(slo_total.decided_ot) / cand;
+    report.tier_fractions[4] =
+        static_cast<double>(slo_total.decided_exact) / cand;
+    report.tier_fractions[5] = static_cast<double>(slo_total.cache_hits) / cand;
+    report.cache_hit_rate = static_cast<double>(slo_total.cache_hits) / cand;
 
     std::printf("  %.2f queries/s | latency p50 %.2f ms, p95 %.2f ms, "
                 "p99 %.2f ms | cache hit rate %.1f%%\n",

@@ -26,7 +26,8 @@ int main() {
                 d.MaxEdges(), d.num_labels);
   }
   std::printf(
-      "\nPaper reference: AIDS 700/8.9/8.8/10/14/29, LINUX 1000/7.6/6.9/10/13/1,"
+      "\nPaper reference: AIDS 700/8.9/8.8/10/14/29,"
+      " LINUX 1000/7.6/6.9/10/13/1,"
       " IMDB 1500/13/65.9/89/1467/1\n");
   return 0;
 }

@@ -58,7 +58,9 @@ int main() {
   std::printf(
       "\n%zu hits, %d of which are true near-misses (precision %.0f%%)\n",
       res.hits.size(), true_hits,
-      res.hits.empty() ? 0.0 : 100.0 * true_hits / res.hits.size());
+      res.hits.empty()
+          ? 0.0
+          : 100.0 * true_hits / static_cast<double>(res.hits.size()));
   std::printf(
       "cascade pruned %ld/%ld candidates before any solver ran "
       "(%.0f%%), %ld OT calls, %ld exact calls, %.2f ms\n",

@@ -91,7 +91,10 @@ void PrintMetricsSnapshot() {
   const long candidates =
       snap.CounterValue("otged_cascade_candidates_total");
   std::printf("cache hit rate %.1f%% (%ld/%ld lookups)\n",
-              lookups ? 100.0 * hits / lookups : 0.0, hits, lookups);
+              lookups ? 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(lookups)
+                      : 0.0,
+              hits, lookups);
   if (candidates == 0) {
     std::printf("no candidate pairs evaluated yet\n");
     return;
@@ -111,7 +114,8 @@ void PrintMetricsSnapshot() {
   std::printf("%ld candidate pairs settled by:", candidates);
   for (const auto& t : tiers)
     std::printf(" %s %.1f%%", t.label,
-                100.0 * snap.CounterValue(t.counter) / candidates);
+                100.0 * static_cast<double>(snap.CounterValue(t.counter)) /
+                    static_cast<double>(candidates));
   std::printf("\n");
 }
 

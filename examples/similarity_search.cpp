@@ -9,7 +9,7 @@
 /// truth ranking by construction.
 #include <cstdio>
 
-#include "metrics/metrics.hpp"
+#include "eval/metrics.hpp"
 #include "search/query_engine.hpp"
 
 using namespace otged;

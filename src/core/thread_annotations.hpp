@@ -1,0 +1,156 @@
+/// \file thread_annotations.hpp
+/// \brief Clang capability-attribute macros plus an annotated Mutex /
+/// MutexLock / CondVar shim over the std primitives, so the locking
+/// discipline of the serving tier is checked at compile time.
+///
+/// Under clang, `-Wthread-safety` turns the annotations into a static
+/// proof obligation: a member declared `GUARDED_BY(mu_)` may only be
+/// touched while `mu_` is held, a function declared `REQUIRES(mu_)` may
+/// only be called with `mu_` held, and `EXCLUDES(mu_)` rejects
+/// re-entrant acquisition. CI builds with `-Werror=thread-safety`, so a
+/// missing lock is a build break, not a code-review hope. Other
+/// compilers see empty macros and the shim degrades to the plain std
+/// types (same layout, same behavior).
+///
+/// Usage mirrors abseil's mutex discipline:
+///
+///   class Table {
+///    public:
+///     void Put(int k, int v) EXCLUDES(mu_) {
+///       MutexLock lock(mu_);
+///       map_[k] = v;
+///     }
+///    private:
+///     Mutex mu_;
+///     std::map<int, int> map_ GUARDED_BY(mu_);
+///   };
+///
+/// Condition waits keep the guarded reads inside the annotated scope by
+/// writing the predicate loop explicitly:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+#ifndef OTGED_CORE_THREAD_ANNOTATIONS_HPP_
+#define OTGED_CORE_THREAD_ANNOTATIONS_HPP_
+
+#include <condition_variable>
+#include <mutex>
+
+// ----------------------------------------------------------- attributes
+// The attribute spellings follow the clang Thread Safety Analysis
+// documentation; every macro expands to nothing unless the compiler
+// understands the `capability` attribute family (clang does, gcc does
+// not — gcc builds compile the exact same code minus the proofs).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OTGED_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef OTGED_THREAD_ANNOTATION__
+#define OTGED_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex).
+#define CAPABILITY(x) OTGED_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY OTGED_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member may only be accessed while `x` is held.
+#define GUARDED_BY(x) OTGED_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while `x` is held.
+#define PT_GUARDED_BY(x) OTGED_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define REQUIRES(...) \
+  OTGED_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function may not be called while holding the listed capabilities.
+#define EXCLUDES(...) OTGED_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  OTGED_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define RELEASE(...) \
+  OTGED_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  OTGED_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) OTGED_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Every use
+/// must carry a comment justifying why the analysis cannot see the
+/// invariant (e.g. cross-object lock transfer in a move constructor).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OTGED_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace otged {
+
+/// Annotated exclusive mutex over std::mutex. Prefer MutexLock to raw
+/// Lock/Unlock pairs; the raw calls exist for the rare manual protocol
+/// and for the shim's own internals.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock; the scoped-capability annotation lets the analysis treat
+/// the guard's lifetime as the critical section.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait atomically
+/// releases and reacquires `mu`, which the analysis models as "requires
+/// mu on entry, holds mu on return" — callers keep their guarded reads
+/// in the predicate loop around the Wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { WaitImpl(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // The release/reacquire handoff to std::condition_variable is invisible
+  // to the analysis, so the impl is exempt: it adopts the already-held
+  // native mutex, waits, and releases ownership back to the caller.
+  void WaitImpl(Mutex& mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace otged
+
+#endif  // OTGED_CORE_THREAD_ANNOTATIONS_HPP_

@@ -58,7 +58,8 @@ GedRow EvaluateGed(const std::string& name, const GedFn& fn,
     row.p_at_10 = p10_sum / group_count;
     row.p_at_20 = p20_sum / group_count;
   }
-  row.sec_per_100p = pair_count > 0 ? elapsed / pair_count * 100.0 : 0.0;
+  row.sec_per_100p =
+      pair_count > 0 ? elapsed / static_cast<double>(pair_count) * 100.0 : 0.0;
   return row;
 }
 
@@ -110,10 +111,11 @@ GepRow EvaluateGep(const std::string& name, const GepFn& fn,
     row.p_at_20 = p20_sum / group_count;
   }
   if (pair_count > 0) {
-    row.recall = rec_sum / pair_count;
-    row.precision = prec_sum / pair_count;
-    row.f1 = f1_sum / pair_count;
-    row.sec_per_100p = elapsed / pair_count * 100.0;
+    const double pairs = static_cast<double>(pair_count);
+    row.recall = rec_sum / pairs;
+    row.precision = prec_sum / pairs;
+    row.f1 = f1_sum / pairs;
+    row.sec_per_100p = elapsed / pairs * 100.0;
   }
   return row;
 }

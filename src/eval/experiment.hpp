@@ -11,7 +11,7 @@
 
 #include "assignment/kbest.hpp"
 #include "graph/dataset.hpp"
-#include "metrics/metrics.hpp"
+#include "eval/metrics.hpp"
 #include "models/model.hpp"
 
 namespace otged {

@@ -1,4 +1,4 @@
-#include "metrics/metrics.hpp"
+#include "eval/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -20,7 +20,7 @@ std::vector<double> AverageRanks(const std::vector<double>& x) {
   while (i < n) {
     size_t j = i;
     while (j + 1 < n && x[idx[j + 1]] == x[idx[i]]) ++j;
-    double avg = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
     for (size_t k = i; k <= j; ++k) rank[idx[k]] = avg;
     i = j + 1;
   }
@@ -31,8 +31,8 @@ double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
   const size_t n = a.size();
   if (n < 2) return 1.0;
-  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
-  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / static_cast<double>(n);
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / static_cast<double>(n);
   double num = 0, da = 0, db = 0;
   for (size_t i = 0; i < n; ++i) {
     num += (a[i] - ma) * (b[i] - mb);
@@ -50,7 +50,7 @@ double MeanAbsoluteError(const std::vector<double>& pred,
   OTGED_CHECK(pred.size() == gt.size() && !pred.empty());
   double s = 0.0;
   for (size_t i = 0; i < pred.size(); ++i) s += std::abs(pred[i] - gt[i]);
-  return s / pred.size();
+  return s / static_cast<double>(pred.size());
 }
 
 double Accuracy(const std::vector<double>& pred, const std::vector<int>& gt) {
@@ -58,7 +58,7 @@ double Accuracy(const std::vector<double>& pred, const std::vector<int>& gt) {
   int hit = 0;
   for (size_t i = 0; i < pred.size(); ++i)
     if (static_cast<int>(std::lround(pred[i])) == gt[i]) ++hit;
-  return static_cast<double>(hit) / pred.size();
+  return static_cast<double>(hit) / static_cast<double>(pred.size());
 }
 
 double Feasibility(const std::vector<double>& pred,
@@ -67,7 +67,7 @@ double Feasibility(const std::vector<double>& pred,
   int ok = 0;
   for (size_t i = 0; i < pred.size(); ++i)
     if (std::lround(pred[i]) >= gt[i]) ++ok;
-  return static_cast<double>(ok) / pred.size();
+  return static_cast<double>(ok) / static_cast<double>(pred.size());
 }
 
 double SpearmanRho(const std::vector<double>& a,
@@ -100,7 +100,7 @@ double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
                            static_cast<double>(concordant + discordant +
                                                ties_b));
   if (denom == 0) return 1.0;
-  return (concordant - discordant) / denom;
+  return static_cast<double>(concordant - discordant) / denom;
 }
 
 double PrecisionAtK(const std::vector<double>& pred,
@@ -134,9 +134,12 @@ PathQuality EvaluatePath(const std::vector<EditOp>& predicted,
   int common = PathIntersectionSize(predicted, ground_truth);
   q.recall = ground_truth.empty()
                  ? 1.0
-                 : static_cast<double>(common) / ground_truth.size();
+                 : static_cast<double>(common) /
+                       static_cast<double>(ground_truth.size());
   q.precision =
-      predicted.empty() ? 1.0 : static_cast<double>(common) / predicted.size();
+      predicted.empty()
+          ? 1.0
+          : static_cast<double>(common) / static_cast<double>(predicted.size());
   q.f1 = (q.recall + q.precision) > 0
              ? 2 * q.recall * q.precision / (q.recall + q.precision)
              : 0.0;
@@ -151,7 +154,7 @@ double TriangleInequalityRate(const std::vector<double>& d12,
   int ok = 0;
   for (size_t i = 0; i < d12.size(); ++i)
     if (d13[i] <= d12[i] + d23[i] + 1e-9) ++ok;
-  return static_cast<double>(ok) / d12.size();
+  return static_cast<double>(ok) / static_cast<double>(d12.size());
 }
 
 }  // namespace otged

@@ -2,8 +2,8 @@
 /// \brief Evaluation metrics from Section 6.3 of the paper: value metrics
 /// (MAE, accuracy, feasibility), ranking metrics (Spearman rho, Kendall
 /// tau, precision@k), and path metrics (recall / precision / F1).
-#ifndef OTGED_METRICS_METRICS_HPP_
-#define OTGED_METRICS_METRICS_HPP_
+#ifndef OTGED_EVAL_METRICS_HPP_
+#define OTGED_EVAL_METRICS_HPP_
 
 #include <vector>
 
@@ -53,4 +53,4 @@ double TriangleInequalityRate(const std::vector<double>& d12,
 
 }  // namespace otged
 
-#endif  // OTGED_METRICS_METRICS_HPP_
+#endif  // OTGED_EVAL_METRICS_HPP_

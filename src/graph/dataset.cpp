@@ -12,14 +12,14 @@ double Dataset::AvgNodes() const {
   if (graphs.empty()) return 0.0;
   double s = 0.0;
   for (const Graph& g : graphs) s += g.NumNodes();
-  return s / graphs.size();
+  return s / static_cast<double>(graphs.size());
 }
 
 double Dataset::AvgEdges() const {
   if (graphs.empty()) return 0.0;
   double s = 0.0;
   for (const Graph& g : graphs) s += g.NumEdges();
-  return s / graphs.size();
+  return s / static_cast<double>(graphs.size());
 }
 
 int Dataset::MaxNodes() const {

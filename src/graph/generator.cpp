@@ -110,7 +110,8 @@ Graph PowerLawGraph(int num_nodes, int m_attach, Rng* rng) {
     int guard = 0;
     while (static_cast<int>(targets.size()) < m_attach && guard < 1000) {
       ++guard;
-      int t = endpoints[rng->UniformInt(0, static_cast<int>(endpoints.size()) - 1)];
+      int t = endpoints[rng->UniformInt(
+          0, static_cast<int>(endpoints.size()) - 1)];
       if (t != v) targets.insert(t);
     }
     for (int t : targets) {

@@ -17,7 +17,7 @@ namespace otged {
 /// (see DESIGN.md §3, substitution 5).
 struct TrunkConfig {
   int num_labels = 1;
-  std::vector<int> conv_dims = {32, 32, 32};
+  std::vector<int> conv_dims = std::vector<int>(3, 32);
   int out_dim = 16;            ///< final embedding dimension d
   bool use_gcn = false;        ///< ablation "w/ GCN"
   bool use_final_mlp = true;   ///< ablation "w/o MLP"

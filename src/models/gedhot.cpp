@@ -30,12 +30,14 @@ GepResult GedhotModel::GeneratePath(const Graph& g1, const Graph& g2, int k) {
 
 double GedhotModel::ValueAdoptionIot() const {
   return value_total_ == 0 ? 0.0
-                           : static_cast<double>(value_iot_) / value_total_;
+                           : static_cast<double>(value_iot_) /
+                                 static_cast<double>(value_total_);
 }
 
 double GedhotModel::PathAdoptionIot() const {
   return path_total_ == 0 ? 0.0
-                          : static_cast<double>(path_iot_) / path_total_;
+                          : static_cast<double>(path_iot_) /
+                                static_cast<double>(path_total_);
 }
 
 void GedhotModel::ResetStats() {

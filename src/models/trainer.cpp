@@ -37,7 +37,7 @@ std::vector<double> TrainModel(TrainableGedModel* model,
       if (opt.grad_clip > 0) optimizer.ClipGradients(opt.grad_clip);
       optimizer.Step();
     }
-    epoch_losses.push_back(total / pairs.size());
+    epoch_losses.push_back(total / static_cast<double>(pairs.size()));
     if (opt.verbose) {
       std::fprintf(stderr, "[train] %s epoch %d/%d loss %.5f\n",
                    model->Name().c_str(), epoch + 1, opt.epochs,

@@ -303,11 +303,11 @@ Tensor BceLoss(const Tensor& p, const Matrix& t, double delta) {
   Matrix target = t;
   return MakeOp(Matrix(1, 1, loss), {p},
                 [target, delta, count](TensorNode& n) {
-    const Matrix& pv = n.parents[0]->value;
+    const Matrix& pval = n.parents[0]->value;
     double g = n.grad(0, 0);
-    Matrix dp(pv.rows(), pv.cols());
+    Matrix dp(pval.rows(), pval.cols());
     for (int i = 0; i < count; ++i) {
-      double x = std::clamp(pv[i], delta, 1.0 - delta);
+      double x = std::clamp(pval[i], delta, 1.0 - delta);
       dp[i] = g * (-target[i] / x + (1.0 - target[i]) / (1.0 - x)) / count;
     }
     n.parents[0]->AccumulateGrad(dp);

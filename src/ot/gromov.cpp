@@ -96,7 +96,8 @@ CgResult FusedGwConditionalGradientGeneral(
 
     Matrix delta = target - pi;
     // Exact line search on f(pi + gamma * delta), a quadratic in gamma:
-    //   a = (alpha/2) <delta, L ⊗ delta>, b = <delta, M> + alpha <delta, L⊗pi>.
+    //   a = (alpha/2) <delta, L ⊗ delta>,
+    //   b = <delta, M> + alpha <delta, L ⊗ pi>.
     double a = 0.5 * alpha * delta.Dot(tensor_product(delta));
     double b = delta.Dot(m) + alpha * delta.Dot(lp);
     double gamma;

@@ -24,7 +24,7 @@ BoundCache::BoundCache(size_t capacity)
 std::optional<int> BoundCache::Lookup(uint64_t query_fp, int graph_id) {
   const Key key{query_fp, graph_id};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     OTGED_COUNT(kMissesName, "bound-cache lookups that found no entry");
@@ -38,7 +38,7 @@ std::optional<int> BoundCache::Lookup(uint64_t query_fp, int graph_id) {
 void BoundCache::Insert(uint64_t query_fp, int graph_id, int exact_ged) {
   const Key key{query_fp, graph_id};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->second = exact_ged;
@@ -66,7 +66,7 @@ void BoundCache::EraseGraphs(const std::vector<int>& graph_ids) {
   const std::unordered_set<int> retired(graph_ids.begin(), graph_ids.end());
   long invalidated = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (retired.count(it->first.id) != 0) {
         shard->map.erase(it->first);
@@ -85,7 +85,7 @@ void BoundCache::EraseGraphs(const std::vector<int>& graph_ids) {
 
 void BoundCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->map.clear();
   }
@@ -94,7 +94,7 @@ void BoundCache::Clear() {
 size_t BoundCache::Size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->map.size();
   }
   return total;

@@ -21,11 +21,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace otged {
 
@@ -69,10 +70,11 @@ class BoundCache {
     }
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<Key, int>> lru;  ///< front = most recently used
+    mutable Mutex mu;
+    /// front = most recently used
+    std::list<std::pair<Key, int>> lru GUARDED_BY(mu);
     std::unordered_map<Key, std::list<std::pair<Key, int>>::iterator, KeyHash>
-        map;
+        map GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& k) {

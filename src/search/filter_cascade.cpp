@@ -28,7 +28,8 @@ void CascadeStats::Merge(const CascadeStats& o) {
 
 double CascadeStats::PrunedBeforeSolvers() const {
   if (candidates == 0) return 0.0;
-  return static_cast<double>(pruned_invariant + pruned_branch) / candidates;
+  return static_cast<double>(pruned_invariant + pruned_branch) /
+         static_cast<double>(candidates);
 }
 
 FilterCascade::FilterCascade(const CascadeOptions& opt) : opt_(opt) {}

@@ -97,7 +97,7 @@ int StoreSnapshot::SlotOf(int id) const {
 GraphStore::GraphStore() : snap_(std::make_shared<StoreSnapshot>()) {}
 
 GraphStore::GraphStore(GraphStore&& o) noexcept {
-  std::lock_guard<std::mutex> lock(o.mu_);
+  MutexLock lock(o.mu_);
   snap_ = std::move(o.snap_);
   next_id_ = o.next_id_;
   erase_log_ = std::move(o.erase_log_);
@@ -107,7 +107,12 @@ GraphStore::GraphStore(GraphStore&& o) noexcept {
 
 GraphStore& GraphStore::operator=(GraphStore&& o) noexcept {
   if (this == &o) return *this;
-  std::scoped_lock lock(mu_, o.mu_);
+  // Lock both stores in address order — a deterministic total order, so
+  // two cross-assignments can never deadlock.
+  Mutex* first = this < &o ? &mu_ : &o.mu_;
+  Mutex* second = this < &o ? &o.mu_ : &mu_;
+  MutexLock lock_first(*first);
+  MutexLock lock_second(*second);
   snap_ = std::move(o.snap_);
   next_id_ = o.next_id_;
   erase_log_ = std::move(o.erase_log_);
@@ -120,7 +125,7 @@ int GraphStore::Insert(Graph g) {
   auto entry = std::make_shared<StoreEntry>();
   entry->invariants = ComputeInvariants(g);
   entry->graph = std::move(g);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry->id = next_id_++;
   auto next = std::make_shared<StoreSnapshot>();
   next->epoch_ = snap_->epoch_ + 1;
@@ -145,7 +150,7 @@ void GraphStore::AddAll(const std::vector<Graph>& graphs) {
     entry->graph = g;
     pending.push_back(std::move(entry));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto next = std::make_shared<StoreSnapshot>();
   next->epoch_ = snap_->epoch_ + 1;
   next->entries_ = snap_->entries_;
@@ -162,7 +167,7 @@ void GraphStore::AddAll(const std::vector<Graph>& graphs) {
 }
 
 bool GraphStore::Erase(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int slot = snap_->SlotOf(id);
   if (slot < 0) return false;
   auto next = std::make_shared<StoreSnapshot>();
@@ -177,27 +182,27 @@ bool GraphStore::Erase(int id) {
 }
 
 int GraphStore::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snap_->Size();
 }
 
 uint64_t GraphStore::Epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snap_->epoch_;
 }
 
 int GraphStore::NextId() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_id_;
 }
 
 bool GraphStore::Contains(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snap_->SlotOf(id) >= 0;
 }
 
 std::shared_ptr<const StoreSnapshot> GraphStore::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OTGED_COUNT("otged_store_snapshot_pins_total",
               "snapshots pinned by readers");
   return snap_;
@@ -206,7 +211,7 @@ std::shared_ptr<const StoreSnapshot> GraphStore::Snapshot() const {
 std::shared_ptr<const StoreSnapshot> GraphStore::SnapshotAndErased(
     size_t* cursor, std::vector<int>* erased) const {
   OTGED_DCHECK(cursor != nullptr && erased != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   erased->clear();
   if (*cursor < erase_log_.size()) {
     erased->assign(erase_log_.begin() + static_cast<long>(*cursor),
@@ -219,14 +224,14 @@ std::shared_ptr<const StoreSnapshot> GraphStore::SnapshotAndErased(
 }
 
 const Graph& GraphStore::graph(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int slot = snap_->SlotOf(id);
   OTGED_CHECK(slot >= 0);
   return snap_->graph(slot);
 }
 
 const GraphInvariants& GraphStore::invariants(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int slot = snap_->SlotOf(id);
   OTGED_CHECK(slot >= 0);
   return snap_->invariants(slot);
@@ -248,7 +253,7 @@ bool GraphStore::Restore(std::vector<std::pair<int, Graph>> entries,
     entry->graph = std::move(g);
     next->entries_.push_back(std::move(entry));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Retire every id that was present: after the swap the same id may name
   // a different graph, so downstream bound caches must drop it.
   for (const auto& e : snap_->entries_) erase_log_.push_back(e->id);
@@ -263,7 +268,7 @@ bool GraphStore::Restore(std::vector<std::pair<int, Graph>> entries,
 
 std::vector<int> GraphStore::ErasedSince(size_t* cursor) const {
   OTGED_DCHECK(cursor != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> out;
   if (*cursor < erase_log_.size()) {
     out.assign(erase_log_.begin() + static_cast<long>(*cursor),

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "graph/dataset.hpp"
 #include "graph/graph.hpp"
 
@@ -109,35 +109,38 @@ class StoreSnapshot {
 class GraphStore {
  public:
   GraphStore();
-  GraphStore(GraphStore&& o) noexcept;
-  GraphStore& operator=(GraphStore&& o) noexcept;
+  // Move transfers another store's state: the analysis cannot pair this
+  // object's members with the source's mutex, so the bodies are exempt
+  // (exclusivity is guaranteed by move semantics plus o.mu_).
+  GraphStore(GraphStore&& o) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  GraphStore& operator=(GraphStore&& o) noexcept NO_THREAD_SAFETY_ANALYSIS;
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
   /// Ingests one graph; returns its stable id (never reused).
-  int Insert(Graph g);
+  int Insert(Graph g) EXCLUDES(mu_);
   /// Back-compat alias for Insert.
   int Add(Graph g) { return Insert(std::move(g)); }
   /// Ingests every graph of a dataset, in order, as ONE mutation: ids
   /// are assigned consecutively but a single snapshot (one epoch bump)
   /// is published, so bulk ingest copies the entry vector once instead
   /// of once per graph.
-  void AddAll(const std::vector<Graph>& graphs);
+  void AddAll(const std::vector<Graph>& graphs) EXCLUDES(mu_);
   /// Removes the graph with the given id; returns false if absent. The id
   /// is retired permanently and logged for bound-cache invalidation.
-  bool Erase(int id);
+  bool Erase(int id) EXCLUDES(mu_);
 
   /// Number of graphs in the current snapshot.
-  int Size() const;
+  int Size() const EXCLUDES(mu_);
   /// Epoch of the current snapshot; bumped by every mutation.
-  uint64_t Epoch() const;
+  uint64_t Epoch() const EXCLUDES(mu_);
   /// Smallest id a future Insert can return; ids below it are spoken for.
-  int NextId() const;
-  bool Contains(int id) const;
+  int NextId() const EXCLUDES(mu_);
+  bool Contains(int id) const EXCLUDES(mu_);
 
   /// Pins the current snapshot. O(1); the snapshot (and every graph in
   /// it) stays alive and immutable while the pointer is held.
-  std::shared_ptr<const StoreSnapshot> Snapshot() const;
+  std::shared_ptr<const StoreSnapshot> Snapshot() const EXCLUDES(mu_);
 
   /// Atomically pins the current snapshot AND drains the erase log into
   /// `erased` under one lock acquisition, so the drained ids are exactly
@@ -147,13 +150,13 @@ class GraphStore {
   /// now yet whose rebinding it cannot see — entries it inserts against
   /// the (older) pinned snapshot would then never be invalidated.
   std::shared_ptr<const StoreSnapshot> SnapshotAndErased(
-      size_t* cursor, std::vector<int>* erased) const;
+      size_t* cursor, std::vector<int>* erased) const EXCLUDES(mu_);
 
   /// Id-based accessors against the current snapshot. The id must be
   /// present (OTGED_CHECK). References are invalidated by mutations —
   /// concurrent readers must hold a Snapshot() instead.
-  const Graph& graph(int id) const;
-  const GraphInvariants& invariants(int id) const;
+  const Graph& graph(int id) const EXCLUDES(mu_);
+  const GraphInvariants& invariants(int id) const EXCLUDES(mu_);
 
   /// Replaces the whole corpus (persistence load). `entries` must be
   /// strictly increasing by id; invariants are recomputed from scratch.
@@ -161,7 +164,8 @@ class GraphStore {
   /// this store drop entries whose id might now name a different graph.
   /// The id counter only moves forward: max(current, next_id, max id + 1).
   /// Returns false (store unchanged) when the id sequence is invalid.
-  bool Restore(std::vector<std::pair<int, Graph>> entries, int next_id);
+  bool Restore(std::vector<std::pair<int, Graph>> entries, int next_id)
+      EXCLUDES(mu_);
 
   /// Appends the ids erased since *cursor to the result and advances the
   /// cursor; starting from a zero cursor replays the full erase history.
@@ -172,13 +176,13 @@ class GraphStore {
   /// corpus on Restore — a deliberate trade-off for cursor independence;
   /// under sustained churn measured in hundreds of millions of erases,
   /// plan to recycle the store (e.g. via save/load into a fresh one).
-  std::vector<int> ErasedSince(size_t* cursor) const;
+  std::vector<int> ErasedSince(size_t* cursor) const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const StoreSnapshot> snap_;  ///< guarded by mu_
-  int next_id_ = 0;                            ///< guarded by mu_
-  std::vector<int> erase_log_;                 ///< guarded by mu_
+  mutable Mutex mu_;
+  std::shared_ptr<const StoreSnapshot> snap_ GUARDED_BY(mu_);
+  int next_id_ GUARDED_BY(mu_) = 0;
+  std::vector<int> erase_log_ GUARDED_BY(mu_);
 };
 
 }  // namespace otged

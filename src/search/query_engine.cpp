@@ -405,18 +405,18 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
 }
 
 RangeResult QueryEngine::Range(const Graph& query, int tau) const {
-  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  MutexLock serve_lock(serve_mu_);
   return std::move(RangeBatchLocked({&query}, tau).front());
 }
 
 TopKResult QueryEngine::TopK(const Graph& query, int k) const {
-  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  MutexLock serve_lock(serve_mu_);
   return std::move(TopKBatchLocked({&query}, k).front());
 }
 
 std::vector<RangeResult> QueryEngine::RangeBatch(
     const std::vector<Graph>& queries, int tau) const {
-  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  MutexLock serve_lock(serve_mu_);
   std::vector<const Graph*> ptrs;
   ptrs.reserve(queries.size());
   for (const Graph& q : queries) ptrs.push_back(&q);
@@ -425,7 +425,7 @@ std::vector<RangeResult> QueryEngine::RangeBatch(
 
 std::vector<TopKResult> QueryEngine::TopKBatch(
     const std::vector<Graph>& queries, int k) const {
-  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  MutexLock serve_lock(serve_mu_);
   std::vector<const Graph*> ptrs;
   ptrs.reserve(queries.size());
   for (const Graph& q : queries) ptrs.push_back(&q);

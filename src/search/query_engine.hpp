@@ -30,8 +30,9 @@
 #define OTGED_SEARCH_QUERY_ENGINE_HPP_
 
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 #include "search/bound_cache.hpp"
 #include "search/filter_cascade.hpp"
@@ -106,10 +107,10 @@ class QueryEngine {
 
   /// All graphs with GED(query, g) <= tau; candidates are verified in
   /// parallel across the pool.
-  RangeResult Range(const Graph& query, int tau) const;
+  RangeResult Range(const Graph& query, int tau) const EXCLUDES(serve_mu_);
 
   /// The k nearest graphs by exact GED, ascending (ged, id).
-  TopKResult TopK(const Graph& query, int k) const;
+  TopKResult TopK(const Graph& query, int k) const EXCLUDES(serve_mu_);
 
   /// Batch variants: all queries share one snapshot and one pool pass per
   /// phase — the (query x candidate) pair grid is flattened into a single
@@ -124,9 +125,9 @@ class QueryEngine {
   /// later twin's non-exact distances from the cache the earlier one
   /// warmed).
   std::vector<RangeResult> RangeBatch(const std::vector<Graph>& queries,
-                                      int tau) const;
+                                      int tau) const EXCLUDES(serve_mu_);
   std::vector<TopKResult> TopKBatch(const std::vector<Graph>& queries,
-                                    int k) const;
+                                    int k) const EXCLUDES(serve_mu_);
 
   const GraphStore& store() const { return *store_; }
   int num_threads() const { return pool_->num_threads(); }
@@ -148,22 +149,25 @@ class QueryEngine {
                           bool need_distance, CascadeStats* stats) const;
 
   /// Pins the current snapshot, first draining the store's erase log into
-  /// cache invalidations. Requires serve_mu_ held.
-  std::shared_ptr<const StoreSnapshot> PinSnapshot() const;
+  /// cache invalidations.
+  std::shared_ptr<const StoreSnapshot> PinSnapshot() const
+      REQUIRES(serve_mu_);
 
-  /// Shared-pass implementations; require serve_mu_ held.
+  /// Shared-pass implementations.
   std::vector<RangeResult> RangeBatchLocked(
-      const std::vector<const Graph*>& queries, int tau) const;
+      const std::vector<const Graph*>& queries, int tau) const
+      REQUIRES(serve_mu_);
   std::vector<TopKResult> TopKBatchLocked(
-      const std::vector<const Graph*>& queries, int k) const;
+      const std::vector<const Graph*>& queries, int k) const
+      REQUIRES(serve_mu_);
 
   const GraphStore* store_;
   FilterCascade cascade_;
   std::unique_ptr<WorkStealingPool> pool_;
-  mutable std::mutex serve_mu_;  ///< one call at a time on the pool
+  mutable Mutex serve_mu_;  ///< one call at a time on the pool
   bool use_cache_;
   mutable BoundCache cache_;
-  mutable size_t erase_cursor_ = 0;  ///< erase-log position; serve_mu_
+  mutable size_t erase_cursor_ GUARDED_BY(serve_mu_) = 0;
 };
 
 }  // namespace otged

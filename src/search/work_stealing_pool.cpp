@@ -26,10 +26,10 @@ WorkStealingPool::WorkStealingPool(int num_threads)
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -46,7 +46,7 @@ void WorkStealingPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     OTGED_CHECK_MSG(body_ == nullptr, "ParallelFor is not reentrant");
     body_ = &body;
     grain_ = grain;
@@ -57,24 +57,23 @@ void WorkStealingPool::ParallelFor(
       int64_t lo = std::min<int64_t>(n, w * per);
       int64_t hi = std::min<int64_t>(n, lo + per);
       if (lo < hi) {
-        std::lock_guard<std::mutex> dlock(deques_[w]->mu);
+        MutexLock dlock(deques_[w]->mu);
         deques_[w]->ranges.push_back({lo, hi});
         OTGED_POOL_QUEUE_GAUGE(+1);
       }
     }
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   RunLoop(/*worker=*/0);
 
   // Wait until every index is done AND every woken worker has left
   // RunLoop; only then may the next epoch's state be written (a worker
   // still inside RunLoop would otherwise observe it mid-flight).
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return remaining_.load(std::memory_order_acquire) == 0 && active_ == 0;
-  });
+  MutexLock lock(mu_);
+  while (remaining_.load(std::memory_order_acquire) != 0 || active_ != 0)
+    done_cv_.Wait(mu_);
   body_ = nullptr;
 }
 
@@ -82,24 +81,33 @@ void WorkStealingPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       ++active_;
     }
     RunLoop(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
 void WorkStealingPool::RunLoop(int worker) {
-  const std::function<void(int64_t, int)>* body = body_;
+  // Snapshot the loop state under the lock: workers reach here only
+  // between ParallelFor's publish (under mu_) and the caller's drain
+  // wait, so body_/grain_ are stable for the whole loop — but the
+  // analysis (and TSan) rightly insist the reads be synchronized.
+  const std::function<void(int64_t, int)>* body;
+  int grain;
+  {
+    MutexLock lock(mu_);
+    body = body_;
+    grain = grain_;
+  }
   int victim = (worker + 1) % num_threads_;
   int dry_sweeps = 0;
   while (remaining_.load(std::memory_order_acquire) > 0) {
@@ -130,25 +138,25 @@ void WorkStealingPool::RunLoop(int worker) {
     dry_sweeps = 0;
     // Keep one grain, return the rest to our own bottom for further
     // splitting or stealing.
-    if (r.hi - r.lo > grain_) {
-      std::lock_guard<std::mutex> lock(deques_[worker]->mu);
-      deques_[worker]->ranges.push_back({r.lo + grain_, r.hi});
+    if (r.hi - r.lo > grain) {
+      MutexLock lock(deques_[worker]->mu);
+      deques_[worker]->ranges.push_back({r.lo + grain, r.hi});
       OTGED_POOL_QUEUE_GAUGE(+1);
-      r.hi = r.lo + grain_;
+      r.hi = r.lo + grain;
     }
     for (int64_t i = r.lo; i < r.hi; ++i) (*body)(i, worker);
     OTGED_COUNT_N("otged_pool_tasks_total",
                   "loop indices executed by the pool", r.hi - r.lo);
     if (remaining_.fetch_sub(r.hi - r.lo, std::memory_order_acq_rel) ==
         r.hi - r.lo) {
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }
 
 bool WorkStealingPool::PopBottom(int worker, Range* out) {
   Deque& d = *deques_[worker];
-  std::lock_guard<std::mutex> lock(d.mu);
+  MutexLock lock(d.mu);
   if (d.ranges.empty()) return false;
   *out = d.ranges.back();
   d.ranges.pop_back();
@@ -158,7 +166,7 @@ bool WorkStealingPool::PopBottom(int worker, Range* out) {
 
 bool WorkStealingPool::StealTop(int thief, Range* out) {
   Deque& d = *deques_[thief];
-  std::lock_guard<std::mutex> lock(d.mu);
+  MutexLock lock(d.mu);
   if (d.ranges.empty()) return false;
   *out = d.ranges.front();
   d.ranges.pop_front();

@@ -13,14 +13,14 @@
 #define OTGED_SEARCH_WORK_STEALING_POOL_HPP_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <memory>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace otged {
 
@@ -42,7 +42,8 @@ class WorkStealingPool {
   /// accumulators. `grain` is the largest chunk a worker processes between
   /// deque interactions. Not reentrant.
   void ParallelFor(int64_t n, int grain,
-                   const std::function<void(int64_t, int)>& body);
+                   const std::function<void(int64_t, int)>& body)
+      EXCLUDES(mu_);
 
  private:
   struct Range {
@@ -50,13 +51,13 @@ class WorkStealingPool {
   };
 
   struct Deque {
-    std::mutex mu;
-    std::deque<Range> ranges;
+    Mutex mu;
+    std::deque<Range> ranges GUARDED_BY(mu);
   };
 
-  void WorkerLoop(int worker);
+  void WorkerLoop(int worker) EXCLUDES(mu_);
   /// Executes available work until the current loop is drained.
-  void RunLoop(int worker);
+  void RunLoop(int worker) EXCLUDES(mu_);
   bool PopBottom(int worker, Range* out);
   bool StealTop(int thief, Range* out);
 
@@ -64,15 +65,17 @@ class WorkStealingPool {
   std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers wait for a new loop
-  std::condition_variable done_cv_;   ///< caller waits for completion
-  const std::function<void(int64_t, int)>* body_ = nullptr;
-  int grain_ = 1;
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers wait for a new loop
+  CondVar done_cv_;  ///< caller waits for completion
+  /// Loop state below is written by ParallelFor under mu_ before waking
+  /// the workers; RunLoop re-reads it under mu_ at entry.
+  const std::function<void(int64_t, int)>* body_ GUARDED_BY(mu_) = nullptr;
+  int grain_ GUARDED_BY(mu_) = 1;
   std::atomic<int64_t> remaining_{0};  ///< indices not yet completed
-  int active_ = 0;                    ///< workers currently inside RunLoop
-  uint64_t epoch_ = 0;                ///< bumped per ParallelFor
-  bool shutdown_ = false;
+  int active_ GUARDED_BY(mu_) = 0;     ///< workers inside RunLoop
+  uint64_t epoch_ GUARDED_BY(mu_) = 0; ///< bumped per ParallelFor
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace otged

@@ -32,7 +32,8 @@ double PercentileOf(std::vector<double> samples, double q) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   q = std::clamp(q, 0.0, 1.0);
-  long rank = static_cast<long>(std::ceil(q * samples.size()));
+  long rank =
+      static_cast<long>(std::ceil(q * static_cast<double>(samples.size())));
   if (rank < 1) rank = 1;
   return samples[rank - 1];
 }

@@ -19,6 +19,7 @@ void SetEnabled(bool enabled) {
 
 namespace internal {
 
+// otged-lint: hot-path
 int ThreadStripe() {
   static std::atomic<unsigned> next{0};
   thread_local int stripe =
@@ -34,7 +35,8 @@ int ThreadStripe() {
 int HistogramBuckets::BucketOf(long v) {
   if (v < 0) v = 0;
   if (v < kLinear) return static_cast<int>(v);
-  const int major = std::bit_width(static_cast<uint64_t>(v)) - 1;
+  const int major =
+      static_cast<int>(std::bit_width(static_cast<uint64_t>(v))) - 1;
   if (major > kMaxMajor) return kCount - 1;
   const int sub = static_cast<int>((v >> (major - kSubBits)) & (kSub - 1));
   return kLinear + (major - kSubBits - 1) * kSub + sub;
@@ -83,6 +85,7 @@ Histogram::Histogram()
     : buckets_(static_cast<size_t>(internal::kStripes) *
                HistogramBuckets::kCount) {}
 
+// otged-lint: hot-path
 void Histogram::Record(long value) {
   const int stripe = internal::ThreadStripe();
   const int bucket = HistogramBuckets::BucketOf(value);
@@ -123,7 +126,7 @@ void Histogram::Reset() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OTGED_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
                       histograms_.find(name) == histograms_.end(),
                   "metric name registered with a different kind");
@@ -135,7 +138,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OTGED_CHECK_MSG(counters_.find(name) == counters_.end() &&
                       histograms_.find(name) == histograms_.end(),
                   "metric name registered with a different kind");
@@ -147,7 +150,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OTGED_CHECK_MSG(counters_.find(name) == counters_.end() &&
                       gauges_.find(name) == gauges_.end(),
                   "metric name registered with a different kind");
@@ -159,7 +162,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, entry] : counters_)
     snap.counters.push_back({name, entry.help, entry.metric->Value()});
   for (const auto& [name, entry] : gauges_)
@@ -170,7 +173,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, entry] : counters_) entry.metric->Reset();
   for (auto& [name, entry] : gauges_) entry.metric->Reset();
   for (auto& [name, entry] : histograms_) entry.metric->Reset();

@@ -40,9 +40,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace otged {
 namespace telemetry {
@@ -81,6 +82,7 @@ struct alignas(64) PaddedAtomic {
 /// Monotone counter; Inc is wait-free (one relaxed fetch_add).
 class Counter {
  public:
+  // otged-lint: hot-path
   void Inc(long n = 1) {
     cells_[internal::ThreadStripe()].v.fetch_add(n,
                                                  std::memory_order_relaxed);
@@ -102,7 +104,9 @@ class Counter {
 /// one atomic — gauges track shared levels, not per-thread sums).
 class Gauge {
  public:
+  // otged-lint: hot-path
   void Set(long v) { value_.store(v, std::memory_order_relaxed); }
+  // otged-lint: hot-path
   void Add(long n) { value_.fetch_add(n, std::memory_order_relaxed); }
   long Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0); }
@@ -136,7 +140,10 @@ struct HistogramSnapshot {
   long sum = 0;
   std::vector<std::pair<int, long>> buckets;  ///< (bucket index, count), asc
 
-  double Mean() const { return count ? static_cast<double>(sum) / count : 0; }
+  double Mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0;
+  }
   /// Nearest-rank percentile estimate (bucket midpoint); q in [0, 1].
   double Percentile(double q) const;
   /// Upper bound of the highest non-empty bucket (0 when empty).
@@ -187,18 +194,20 @@ struct MetricsSnapshot {
 /// Returned references are stable for the registry's lifetime.
 class MetricsRegistry {
  public:
-  Counter& GetCounter(const std::string& name, const std::string& help = "");
-  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Counter& GetCounter(const std::string& name, const std::string& help = "")
+      EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name, const std::string& help = "")
+      EXCLUDES(mu_);
   Histogram& GetHistogram(const std::string& name,
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
   /// Aggregates every metric into plain values. Never blocks writers.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every registered metric (handles stay valid). Meant for test
   /// isolation and `search_cli metrics`; concurrent updates are not lost
   /// atomically-with the reset, they simply land after it.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   template <typename M>
@@ -207,10 +216,10 @@ class MetricsRegistry {
     std::string help;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Entry<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every OTGED_* macro records into.

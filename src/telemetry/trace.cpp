@@ -10,7 +10,7 @@ TraceSink::TraceSink(size_t capacity) : capacity_(capacity ? capacity : 1) {
 }
 
 void TraceSink::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity ? capacity : 1;
   ring_.clear();
   ring_.reserve(capacity_);
@@ -18,12 +18,12 @@ void TraceSink::SetCapacity(size_t capacity) {
 }
 
 size_t TraceSink::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 void TraceSink::Record(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -35,7 +35,7 @@ void TraceSink::Record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceSink::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // head_ is the oldest slot once the ring has wrapped.
@@ -51,23 +51,23 @@ std::vector<TraceEvent> TraceSink::Drain() {
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
 }
 
 size_t TraceSink::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t TraceSink::TotalRecorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 uint64_t TraceSink::Dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
@@ -75,7 +75,7 @@ std::string TraceSink::DumpJson() const {
   const std::vector<TraceEvent> events = Events();
   uint64_t recorded, dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     recorded = recorded_;
     dropped = dropped_;
   }

@@ -22,9 +22,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace otged {
 namespace telemetry {
@@ -60,34 +61,34 @@ class TraceSink {
   }
 
   /// Replaces the buffer with an empty one of the new capacity.
-  void SetCapacity(size_t capacity);
-  size_t capacity() const;
+  void SetCapacity(size_t capacity) EXCLUDES(mu_);
+  size_t capacity() const EXCLUDES(mu_);
 
-  void Record(const TraceEvent& event);
+  void Record(const TraceEvent& event) EXCLUDES(mu_);
 
   /// Events currently buffered, oldest first.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const EXCLUDES(mu_);
   /// Events(), then clear the buffer (recorded/dropped totals persist).
-  std::vector<TraceEvent> Drain();
-  void Clear();
+  std::vector<TraceEvent> Drain() EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
-  size_t Size() const;
+  size_t Size() const EXCLUDES(mu_);
   /// Events ever recorded / overwritten before being read.
-  uint64_t TotalRecorded() const;
-  uint64_t Dropped() const;
+  uint64_t TotalRecorded() const EXCLUDES(mu_);
+  uint64_t Dropped() const EXCLUDES(mu_);
 
   /// The buffered events as a JSON array (one object per event), plus a
   /// trailing meta object with recorded/dropped totals.
-  std::string DumpJson() const;
+  std::string DumpJson() const EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  ///< guarded by mu_
-  size_t capacity_;               ///< guarded by mu_
-  size_t head_ = 0;               ///< next overwrite slot when full
-  uint64_t recorded_ = 0;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_);
+  size_t head_ GUARDED_BY(mu_) = 0;  ///< next overwrite slot when full
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide sink the QueryEngine records into.

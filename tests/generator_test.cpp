@@ -59,7 +59,8 @@ TEST(GeneratorTest, PowerLawGraphHasHub) {
   EXPECT_EQ(g.NumNodes(), 100);
   EXPECT_TRUE(g.CheckInvariants());
   int max_deg = 0;
-  for (int v = 0; v < g.NumNodes(); ++v) max_deg = std::max(max_deg, g.Degree(v));
+  for (int v = 0; v < g.NumNodes(); ++v)
+    max_deg = std::max(max_deg, g.Degree(v));
   // Preferential attachment produces hubs far above the minimum degree.
   EXPECT_GE(max_deg, 8);
 }

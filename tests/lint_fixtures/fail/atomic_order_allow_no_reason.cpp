@@ -1,0 +1,13 @@
+// Fail fixture: a suppression without a `-- reason` is itself reported.
+#include <atomic>
+
+namespace otged_lint_fixture {
+
+std::atomic<int> g_value{0};
+
+int SuppressedWithoutReason() {
+  // otged-lint: allow(atomic-order)
+  return g_value.load();
+}
+
+}  // namespace otged_lint_fixture

@@ -1,0 +1,15 @@
+// Fail fixture: defaulted (seq_cst) memory orders on load, store, and
+// RMW calls — each is an atomic-order finding.
+#include <atomic>
+
+namespace otged_lint_fixture {
+
+std::atomic<int> g_value{0};
+
+int DefaultedEverywhere() {
+  g_value.store(1);
+  g_value.fetch_add(2);
+  return g_value.load();
+}
+
+}  // namespace otged_lint_fixture

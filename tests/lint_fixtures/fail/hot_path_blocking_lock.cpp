@@ -1,0 +1,19 @@
+// Fail fixture: a marked hot-path function that takes a blocking lock,
+// allocates, and calls std::rand — all banned on the wait-free path.
+#include <cstdlib>
+#include <mutex>
+
+namespace otged_lint_fixture {
+
+std::mutex g_mu;
+long g_total = 0;
+
+// otged-lint: hot-path
+void HotPathBlocks(long n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  long* scratch = new long(std::rand());
+  g_total += n + *scratch;
+  delete scratch;
+}
+
+}  // namespace otged_lint_fixture

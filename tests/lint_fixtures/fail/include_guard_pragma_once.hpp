@@ -1,0 +1,6 @@
+// Fail fixture: #pragma once instead of the repo's #ifndef guard style.
+#pragma once
+
+namespace otged_lint_fixture {
+inline int PragmaOnceMarker() { return 3; }
+}  // namespace otged_lint_fixture

@@ -1,0 +1,9 @@
+// Fail fixture: the guard name does not match the path-derived style.
+#ifndef SOME_HANDWRITTEN_GUARD_H
+#define SOME_HANDWRITTEN_GUARD_H
+
+namespace otged_lint_fixture {
+inline int WrongGuardMarker() { return 2; }
+}  // namespace otged_lint_fixture
+
+#endif  // SOME_HANDWRITTEN_GUARD_H

@@ -1,0 +1,13 @@
+// Fail fixture: a metric name absent from the README catalog, plus one
+// name registered under two different kinds.
+#include "telemetry/metrics.hpp"
+
+namespace otged_lint_fixture {
+
+void UncatalogedAndCollidingMetrics() {
+  OTGED_COUNT("otged_bogus_fixture_only_total", "not in the catalog");
+  OTGED_COUNT("otged_store_inserts_total", "counter here");
+  OTGED_GAUGE_SET("otged_store_inserts_total", "but gauge here", 0);
+}
+
+}  // namespace otged_lint_fixture

@@ -1,0 +1,12 @@
+// Pass fixture: metric names drawn from the README catalog, each used
+// with a single kind.
+#include "telemetry/metrics.hpp"
+
+namespace otged_lint_fixture {
+
+void TouchCatalogedMetrics() {
+  OTGED_COUNT("otged_store_inserts_total", "graphs ingested into the store");
+  OTGED_GAUGE_SET("otged_store_size", "graphs in the published snapshot", 0);
+}
+
+}  // namespace otged_lint_fixture

@@ -1,0 +1,30 @@
+// Pass fixture: exercises every rule's happy path in one file. The
+// self-test requires zero findings here.
+#include <atomic>
+
+namespace otged_lint_fixture {
+
+std::atomic<long> g_counter{0};
+
+// Explicit memory orders satisfy atomic-order.
+long BumpAndRead() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+  return g_counter.load(std::memory_order_acquire);
+}
+
+// A suppression with a reason is honored, not reported.
+long LegacyDefaultedOrder() {
+  // otged-lint: allow(atomic-order) -- fixture: documents suppression form
+  return g_counter.load();
+}
+
+// A marked hot path may use wait-free atomics freely.
+// otged-lint: hot-path
+void HotPathOk(long n) {
+  g_counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+// Outside marked hot paths, allocation and locks are no lint concern.
+int* ColdPathAllocates() { return new int(42); }
+
+}  // namespace otged_lint_fixture

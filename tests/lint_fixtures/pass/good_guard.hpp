@@ -1,0 +1,10 @@
+// Pass fixture: the guard below is exactly what the include-guard rule
+// derives from this file's repo-relative path.
+#ifndef OTGED_TESTS_LINT_FIXTURES_PASS_GOOD_GUARD_HPP_
+#define OTGED_TESTS_LINT_FIXTURES_PASS_GOOD_GUARD_HPP_
+
+namespace otged_lint_fixture {
+inline int GoodGuardMarker() { return 1; }
+}  // namespace otged_lint_fixture
+
+#endif  // OTGED_TESTS_LINT_FIXTURES_PASS_GOOD_GUARD_HPP_

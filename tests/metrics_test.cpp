@@ -1,4 +1,4 @@
-#include "metrics/metrics.hpp"
+#include "eval/metrics.hpp"
 
 #include <gtest/gtest.h>
 

@@ -86,26 +86,36 @@ TEST(WorkStealingPoolTest, CoversEveryIndexExactlyOnce) {
     const int n = 1000;
     std::vector<std::atomic<int>> hits(n);
     pool.ParallelFor(n, /*grain=*/7,
-                     [&](int64_t i, int) { hits[i].fetch_add(1); });
-    for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+                     [&](int64_t i, int) {
+                       hits[i].fetch_add(1, std::memory_order_relaxed);
+                     });
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(hits[i].load(std::memory_order_relaxed), 1);
   }
 }
 
 TEST(WorkStealingPoolTest, HandlesEmptyAndTinyLoops) {
   WorkStealingPool pool(4);
   std::atomic<int> count{0};
-  pool.ParallelFor(0, 1, [&](int64_t, int) { count.fetch_add(1); });
-  EXPECT_EQ(count.load(), 0);
-  pool.ParallelFor(3, 100, [&](int64_t, int) { count.fetch_add(1); });
-  EXPECT_EQ(count.load(), 3);
+  pool.ParallelFor(
+      0, 1, [&](int64_t, int) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 0);
+  pool.ParallelFor(3, 100, [&](int64_t, int) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 3);
 }
 
 TEST(WorkStealingPoolTest, ReusableAcrossLoops) {
   WorkStealingPool pool(3);
   for (int round = 0; round < 5; ++round) {
     std::atomic<long> sum{0};
-    pool.ParallelFor(100, 4, [&](int64_t i, int) { sum.fetch_add(i); });
-    EXPECT_EQ(sum.load(), 100 * 99 / 2);
+    pool.ParallelFor(100, 4, [&](int64_t i, int) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(std::memory_order_relaxed), 100 * 99 / 2);
   }
 }
 

@@ -65,9 +65,9 @@ TEST(TelemetryHistogramTest, BucketGeometry) {
     ASSERT_LT(b, HistogramBuckets::kCount);
     EXPECT_LE(HistogramBuckets::LowerBound(b), v);
     EXPECT_GE(HistogramBuckets::UpperBound(b), v);
-    double width =
-        HistogramBuckets::UpperBound(b) - HistogramBuckets::LowerBound(b) + 1;
-    EXPECT_LE(width / HistogramBuckets::LowerBound(b),
+    double width = static_cast<double>(HistogramBuckets::UpperBound(b) -
+                                       HistogramBuckets::LowerBound(b) + 1);
+    EXPECT_LE(width / static_cast<double>(HistogramBuckets::LowerBound(b)),
               1.0 / HistogramBuckets::kSub + 1e-9);
   }
   // Buckets tile the value axis: consecutive bounds are adjacent.
