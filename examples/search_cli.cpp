@@ -16,10 +16,11 @@
 ///
 /// Metrics (`search_cli metrics [dataset] [count] [queries] [threads]`):
 /// resets the process metrics registry, serves a range + top-k workload,
-/// reconciles the registry's cascade counters against the summed
-/// QueryStats of the same run (they must match exactly, or the command
-/// exits 1), then exports the registry twice — Prometheus text after the
-/// `--- prometheus ---` marker, JSON after the `--- json ---` marker.
+/// reconciles the registry's cascade AND index counters against the
+/// summed QueryStats of the same run (they must match exactly, or the
+/// command exits 1), then exports the registry twice — Prometheus text
+/// after the `--- prometheus ---` marker, JSON after the `--- json ---`
+/// marker.
 ///
 /// REPL (`search_cli repl [threads]`): drives one dynamic GraphStore +
 /// QueryEngine with commands from stdin, exercising mutation, persistence
@@ -27,8 +28,9 @@
 ///   gen <dataset> <count>    insert synthetic graphs (stable ids printed)
 ///   add <path>               insert every graph of a t/v/e corpus file
 ///   rm <id>                  erase one graph by stable id
-///   save <path>              persist the store (versioned binary + crc)
+///   save <path>              persist store + compacted index (crc'd)
 ///   load <path>              replace the store from a persisted file
+///                            (adopting its index section, if present)
 ///   range <tau> <n>          serve n synthetic queries, one at a time
 ///   topk <k> <n>             same, top-k
 ///   batch <tau> <n>          serve n queries as one RangeBatch pool pass
@@ -64,13 +66,14 @@ Graph MakeQueryGraph(const std::string& dataset, Rng* rng) {
 void PrintStats(const QueryStats& stats) {
   const CascadeStats& c = stats.cascade;
   std::printf(
-      "    %.2f ms | epoch %llu | %ld candidates: %ld invariant-pruned, "
-      "%ld branch-pruned, %ld heuristic, %ld ot, %ld exact, %ld cached | "
-      "%ld OT calls, %ld exact calls | %.0f%% pruned before solvers\n",
+      "    %.2f ms | epoch %llu | %ld candidates: %ld index-pruned, "
+      "%ld invariant-pruned, %ld branch-pruned, %ld heuristic, %ld ot, "
+      "%ld exact, %ld cached | %ld OT calls, %ld exact calls | "
+      "%.0f%% pruned before solvers\n",
       stats.wall_ms, static_cast<unsigned long long>(stats.epoch),
-      c.candidates, c.pruned_invariant, c.pruned_branch, c.decided_heuristic,
-      c.decided_ot, c.decided_exact, c.cache_hits, c.ot_calls, c.exact_calls,
-      100.0 * c.PrunedBeforeSolvers());
+      c.candidates, c.pruned_index, c.pruned_invariant, c.pruned_branch,
+      c.decided_heuristic, c.decided_ot, c.decided_exact, c.cache_hits,
+      c.ot_calls, c.exact_calls, 100.0 * c.PrunedBeforeSolvers());
 }
 
 void PrintRange(const RangeResult& res, int tau) {
@@ -103,6 +106,7 @@ void PrintMetricsSnapshot() {
     const char* label;
     const char* counter;
   } tiers[] = {
+      {"index-pruned", "otged_cascade_pruned_total{tier=\"index\"}"},
       {"invariant-pruned", "otged_cascade_pruned_total{tier=\"invariant\"}"},
       {"identity-passed", "otged_cascade_passed_total{tier=\"invariant\"}"},
       {"branch-pruned", "otged_cascade_pruned_total{tier=\"branch\"}"},
@@ -117,6 +121,15 @@ void PrintMetricsSnapshot() {
                 100.0 * static_cast<double>(snap.CounterValue(t.counter)) /
                     static_cast<double>(candidates));
   std::printf("\n");
+  // Gauges track the current index view; zero when no index is built.
+  long index_size = 0, index_partitions = 0, index_overlay = 0;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "otged_index_size") index_size = g.value;
+    if (g.name == "otged_index_partitions") index_partitions = g.value;
+    if (g.name == "otged_index_vp_overlay") index_overlay = g.value;
+  }
+  std::printf("index: %ld graphs in %ld partitions, vp overlay %ld\n",
+              index_size, index_partitions, index_overlay);
 }
 
 /// `search_cli metrics`: serve a workload, then prove the exported
@@ -142,10 +155,15 @@ int RunMetrics(const std::string& dataset, int count, int num_queries,
               num_queries, num_queries);
 
   CascadeStats total;
+  IndexStats itotal;
   for (int q = 0; q < num_queries; ++q) {
     Graph query = MakeQueryGraph(dataset, &rng);
-    total.Merge(engine.Range(query, 3).stats.cascade);
-    total.Merge(engine.TopK(query, 5).stats.cascade);
+    RangeResult range = engine.Range(query, 3);
+    total.Merge(range.stats.cascade);
+    itotal.Merge(range.stats.index);
+    TopKResult topk = engine.TopK(query, 5);
+    total.Merge(topk.stats.cascade);
+    itotal.Merge(topk.stats.index);
   }
 
   const telemetry::MetricsSnapshot snap = telemetry::Registry().Snapshot();
@@ -154,6 +172,7 @@ int RunMetrics(const std::string& dataset, int count, int num_queries,
     long expected;
   } rows[] = {
       {"otged_cascade_candidates_total", total.candidates},
+      {"otged_cascade_pruned_total{tier=\"index\"}", total.pruned_index},
       {"otged_cascade_pruned_total{tier=\"invariant\"}",
        total.pruned_invariant},
       {"otged_cascade_passed_total{tier=\"invariant\"}",
@@ -167,12 +186,27 @@ int RunMetrics(const std::string& dataset, int count, int num_queries,
       {"otged_cascade_ot_calls_total", total.ot_calls},
       {"otged_cascade_exact_calls_total", total.exact_calls},
       {"otged_cascade_exact_incomplete_total", total.exact_incomplete},
+      // The index counters reconcile against the summed per-query
+      // IndexStats the same way.
+      {"otged_index_candidates_total", itotal.candidates},
+      {"otged_index_pruned_total{level=\"partition\"}",
+       itotal.partition_pruned},
+      {"otged_index_pruned_total{level=\"label\"}", itotal.label_pruned},
+      {"otged_index_pruned_total{level=\"vptree\"}", itotal.vptree_pruned},
+      {"otged_index_partitions_opened_total", itotal.partitions_opened},
+      {"otged_index_vp_nodes_visited_total", itotal.vp_nodes_visited},
   };
   bool ok = total.SettledTotal() == total.candidates;
   std::printf("\nreconciliation (registry counter vs summed QueryStats):\n");
   std::printf("  settled-by-some-tier %ld vs candidates %ld  [%s]\n",
               total.SettledTotal(), total.candidates,
               ok ? "PASS" : "FAIL");
+  const bool index_ok =
+      itotal.scanned == itotal.candidates + itotal.PrunedTotal();
+  ok = ok && index_ok;
+  std::printf("  index scanned %ld vs candidates+pruned %ld  [%s]\n",
+              itotal.scanned, itotal.candidates + itotal.PrunedTotal(),
+              index_ok ? "PASS" : "FAIL");
   for (const auto& row : rows) {
     // Absent counter == never incremented: a call site registers its
     // metric on first increment, so a workload with e.g. zero cache hits
@@ -241,14 +275,16 @@ int RunRepl(int threads) {
     } else if (op == "save") {
       std::string path, error;
       cmd >> path;
-      if (SaveGraphStore(store, path, &error))
+      // Passing the engine's index persists its compacted VP-tree, so a
+      // later `load` skips the index rebuild.
+      if (SaveGraphStore(store, path, &error, engine.index()))
         std::printf("saved %d graphs to %s\n", store.Size(), path.c_str());
       else
         std::printf("error: %s\n", error.c_str());
     } else if (op == "load") {
       std::string path, error;
       cmd >> path;
-      if (LoadGraphStore(&store, path, &error))
+      if (LoadGraphStore(&store, path, &error, engine.index()))
         std::printf("loaded %d graphs from %s (epoch %llu)\n", store.Size(),
                     path.c_str(),
                     static_cast<unsigned long long>(store.Epoch()));

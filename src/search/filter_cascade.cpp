@@ -14,6 +14,7 @@ namespace otged {
 
 void CascadeStats::Merge(const CascadeStats& o) {
   candidates += o.candidates;
+  pruned_index += o.pruned_index;
   pruned_invariant += o.pruned_invariant;
   passed_invariant += o.passed_invariant;
   pruned_branch += o.pruned_branch;
@@ -28,7 +29,8 @@ void CascadeStats::Merge(const CascadeStats& o) {
 
 double CascadeStats::PrunedBeforeSolvers() const {
   if (candidates == 0) return 0.0;
-  return static_cast<double>(pruned_invariant + pruned_branch) /
+  return static_cast<double>(pruned_index + pruned_invariant +
+                             pruned_branch) /
          static_cast<double>(candidates);
 }
 

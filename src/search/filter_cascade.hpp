@@ -53,7 +53,8 @@ enum class CascadeTier : int {
 /// Merge, which is associative and commutative, so parallel accumulation
 /// into per-worker buffers stays deterministic.
 struct CascadeStats {
-  long candidates = 0;        ///< pairs fed into the cascade
+  long candidates = 0;  ///< pairs considered (incl. index-pruned ones)
+  long pruned_index = 0;  ///< dismissed by the index before the cascade ran
   long pruned_invariant = 0;  ///< dismissed by tier 0 alone
   long passed_invariant = 0;  ///< settled by the tier-0 identity fast path
   long pruned_branch = 0;     ///< dismissed by the tier-1 LB
@@ -72,8 +73,9 @@ struct CascadeStats {
   /// this always equals `candidates` — telemetry reconciliation relies
   /// on it.
   long SettledTotal() const {
-    return pruned_invariant + passed_invariant + pruned_branch +
-           decided_heuristic + decided_ot + decided_exact + cache_hits;
+    return pruned_index + pruned_invariant + passed_invariant +
+           pruned_branch + decided_heuristic + decided_ot + decided_exact +
+           cache_hits;
   }
 };
 

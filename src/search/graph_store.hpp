@@ -89,6 +89,13 @@ class StoreSnapshot {
   /// Slot of a stable id (binary search over the ascending ids), or -1.
   int SlotOf(int id) const;
 
+  /// The shared entries themselves, ascending by id. Index layers hold
+  /// these pointers so their structures stay valid (and cheap to diff by
+  /// pointer identity) across later store mutations.
+  const std::vector<std::shared_ptr<const StoreEntry>>& entry_ptrs() const {
+    return entries_;
+  }
+
  private:
   friend class GraphStore;
 

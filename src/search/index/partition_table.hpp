@@ -1,0 +1,108 @@
+/// \file partition_table.hpp
+/// \brief Signature partitions with inverted label postings — levels 1
+/// and 2 of the candidate-generation index.
+///
+/// Graphs are partitioned by their exact (num_nodes, num_edges)
+/// signature. A range query with threshold tau screens partitions
+/// wholesale: GED changes num_nodes by at most one per node edit and
+/// num_edges by at most one per edge edit, so a partition with
+/// max(|dn|, |dm|) > tau cannot contain a hit; a descending-degree
+/// min/max envelope sharpens the screen (the envelope L1 gap lower
+/// bounds every member's degree-sequence bound). Only surviving
+/// partitions are opened.
+///
+/// Inside an open partition, the inverted index maps each node label to
+/// the members containing it. The label-count lower bound
+///   max(n_q, n_g) - common + |m_q - m_g|   (common = sum of min counts)
+/// is admissible, so a member passes only if
+///   common >= max(n_q, n_part) + |dm| - tau.
+/// When that threshold is positive, only members touched by the query's
+/// posting lists can reach it — untouched members (and with them entire
+/// posting lists for labels the query lacks) are dismissed without being
+/// visited. At tau == 0 a WL-hash prefix table replaces the walk: WL
+/// equality is necessary for GED == 0, so only the query's hash bucket
+/// is opened.
+#ifndef OTGED_SEARCH_INDEX_PARTITION_TABLE_HPP_
+#define OTGED_SEARCH_INDEX_PARTITION_TABLE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "search/graph_store.hpp"
+#include "search/index/index_stats.hpp"
+
+namespace otged {
+
+/// One (num_nodes, num_edges) partition; immutable once built, shared
+/// between index views (copy-on-write at the partition level).
+struct IndexPartition {
+  int num_nodes = 0;
+  int num_edges = 0;
+  /// Members ascending by stable id.
+  std::vector<std::shared_ptr<const StoreEntry>> members;
+
+  /// Inverted index: for each label present in some member, the members
+  /// containing it with their multiplicity. Ascending by label; inner
+  /// lists ascending by member slot.
+  struct Posting {
+    Label label = 0;
+    std::vector<std::pair<int32_t, int32_t>> counts;  ///< (member slot, count)
+  };
+  std::vector<Posting> postings;
+
+  /// Positional min/max over members' ascending degree sequences (all
+  /// members share num_nodes, so the sequences align index-by-index).
+  std::vector<int> degree_min;
+  std::vector<int> degree_max;
+
+  /// (wl_hash >> (64 - prefix_bits), member slot) ascending — the
+  /// tau == 0 prefix table. Candidate buckets are confirmed against the
+  /// full hash before emitting.
+  std::vector<std::pair<uint64_t, int32_t>> wl_prefixes;
+};
+
+/// Map key for a partition; iteration order is (num_nodes, num_edges).
+uint64_t PartitionKey(int num_nodes, int num_edges);
+
+std::shared_ptr<const IndexPartition> BuildPartition(
+    int num_nodes, int num_edges,
+    std::vector<std::shared_ptr<const StoreEntry>> members,
+    int wl_prefix_bits);
+
+using PartitionMap =
+    std::map<uint64_t, std::shared_ptr<const IndexPartition>>;
+
+/// Groups a snapshot's entries (ascending by id) into partitions.
+PartitionMap BuildPartitionMap(
+    const std::vector<std::shared_ptr<const StoreEntry>>& entries,
+    int wl_prefix_bits);
+
+/// Copy-on-write update: untouched partitions are shared with `base`,
+/// touched ones are rebuilt from their surviving + added members.
+PartitionMap ApplyPartitionDiff(
+    const PartitionMap& base,
+    const std::vector<std::shared_ptr<const StoreEntry>>& added,
+    const std::vector<std::shared_ptr<const StoreEntry>>& removed,
+    int wl_prefix_bits);
+
+/// Level 1: appends partitions that survive the signature and degree
+/// envelope screens to `opened`; accounts pruned members in `stats`.
+void ScreenPartitions(const PartitionMap& parts, const GraphInvariants& qi,
+                      int tau,
+                      std::vector<const IndexPartition*>* opened,
+                      IndexStats* stats);
+
+/// Level 2: appends the ids of members of `part` whose label-count lower
+/// bound is <= tau (at tau == 0: whose WL hash matches). Run-length
+/// encoded query labels in `query_rle` (ascending by label).
+void PartitionLabelCandidates(
+    const IndexPartition& part, const GraphInvariants& qi,
+    const std::vector<std::pair<Label, int>>& query_rle, int tau,
+    int wl_prefix_bits, std::vector<int>* out_ids, IndexStats* stats);
+
+}  // namespace otged
+
+#endif  // OTGED_SEARCH_INDEX_PARTITION_TABLE_HPP_

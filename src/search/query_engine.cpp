@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "exact/branch_and_bound.hpp"
 #include "graph/graph_io.hpp"
 #include "heuristics/bipartite.hpp"
 #include "telemetry/metrics.hpp"
@@ -102,8 +103,11 @@ QueryEngine::QueryEngine(const GraphStore* store, const EngineOptions& opt)
     : store_(store),
       cascade_(opt.cascade),
       use_cache_(opt.use_bound_cache),
+      topk_refine_budget_(opt.topk_seed_refine_budget),
+      topk_probes_(opt.topk_seed_probes),
       cache_(opt.cache_capacity) {
   OTGED_CHECK(store_ != nullptr);
+  if (opt.use_index) index_ = std::make_unique<GraphIndex>(opt.index);
   int threads = opt.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -211,21 +215,47 @@ std::vector<RangeResult> QueryEngine::RangeBatchLocked(
     ctx[u] = {ComputeInvariants(*queries[uniq[u]]), fp[uniq[u]],
               trace_base + static_cast<uint64_t>(u)};
 
-  const int64_t total = static_cast<int64_t>(nu) * n;
-  std::vector<CascadeVerdict> verdicts(total);
+  QueryWallClock wall_clock(pool_->num_threads(), nu, start);
+
+  // Candidate generation: the index's partition/label levels, or every
+  // slot when running without an index. Index pruning is by admissible
+  // bounds only, so the surviving set is a superset of the true hits and
+  // the cascade's own tier 0 re-screens each survivor — results are
+  // byte-identical either way.
+  std::shared_ptr<const IndexView> iview;
+  if (index_ != nullptr && n > 0) iview = index_->ViewFor(snap);
+  std::vector<std::vector<int>> cand(nu);  ///< slots, ascending
+  std::vector<IndexStats> istats(nu);
+  if (iview != nullptr) {
+    pool_->ParallelFor(nu, /*grain=*/1, [&](int64_t u, int worker) {
+      std::vector<int> ids;
+      iview->RangeCandidates(ctx[u].qi, tau, &ids, &istats[u]);
+      cand[u].reserve(ids.size());
+      for (const int id : ids) cand[u].push_back(snap->SlotOf(id));
+      wall_clock.MarkDone(worker, static_cast<int>(u));
+    });
+  } else {
+    for (int u = 0; u < nu; ++u) {
+      cand[u].resize(static_cast<size_t>(n));
+      std::iota(cand[u].begin(), cand[u].end(), 0);
+    }
+  }
+  std::vector<std::pair<int, int>> tasks;  ///< (unique query, slot)
+  for (int u = 0; u < nu; ++u)
+    for (const int slot : cand[u]) tasks.emplace_back(u, slot);
+
+  std::vector<CascadeVerdict> verdicts(tasks.size());
   std::vector<std::vector<CascadeStats>> worker_stats(
       pool_->num_threads(), std::vector<CascadeStats>(nu));
-  QueryWallClock wall_clock(pool_->num_threads(), nu, start);
-  if (total > 0) {
-    pool_->ParallelFor(total, /*grain=*/4, [&](int64_t t, int worker) {
-      const int u = static_cast<int>(t / n);
-      const int slot = static_cast<int>(t % n);
-      verdicts[t] = EvalPair(*queries[uniq[u]], ctx[u], *snap, slot, tau,
-                             /*need_distance=*/false,
-                             &worker_stats[worker][u]);
-      wall_clock.MarkDone(worker, u);
-    });
-  }
+  pool_->ParallelFor(static_cast<int64_t>(tasks.size()), /*grain=*/4,
+                     [&](int64_t t, int worker) {
+                       const auto [u, slot] = tasks[t];
+                       verdicts[t] = EvalPair(*queries[uniq[u]], ctx[u],
+                                              *snap, slot, tau,
+                                              /*need_distance=*/false,
+                                              &worker_stats[worker][u]);
+                       wall_clock.MarkDone(worker, u);
+                     });
   const double wall = ElapsedMs(start);
   OTGED_COUNT_N("otged_queries_total{kind=\"range\"}",
                 "range queries served", nq);
@@ -234,14 +264,31 @@ std::vector<RangeResult> QueryEngine::RangeBatchLocked(
                     std::lround(wall * 1000.0));
 
   std::vector<RangeResult> uniq_res(nu);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const auto [u, slot] = tasks[t];
+    const CascadeVerdict& v = verdicts[t];
+    if (v.within)
+      uniq_res[u].hits.push_back({snap->id(slot), v.ged, v.exact_distance});
+  }
   for (int u = 0; u < nu; ++u) {
     RangeResult& res = uniq_res[u];
-    for (int slot = 0; slot < n; ++slot) {
-      const CascadeVerdict& v = verdicts[static_cast<int64_t>(u) * n + slot];
-      if (v.within)
-        res.hits.push_back({snap->id(slot), v.ged, v.exact_distance});
-    }
     for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
+    res.stats.index = istats[u];
+    // Fold index-dismissed graphs into the stats (and mirror into the
+    // global counters) so `candidates` still counts the whole corpus and
+    // SettledTotal == candidates keeps reconciling.
+    const long pruned = static_cast<long>(n) -
+                        static_cast<long>(cand[u].size());
+    if (pruned > 0) {
+      res.stats.cascade.candidates += pruned;
+      res.stats.cascade.pruned_index += pruned;
+      OTGED_COUNT_N("otged_cascade_candidates_total",
+                    "candidate pairs fed into the filter cascade", pruned);
+      OTGED_COUNT_N("otged_cascade_pruned_total{tier=\"index\"}",
+                    "pairs dismissed by the candidate index before the "
+                    "cascade",
+                    pruned);
+    }
     res.stats.wall_ms = wall_clock.WallMs(u, wall);
     res.stats.epoch = snap->epoch();
     res.stats.trace_id = ctx[u].trace_id;
@@ -284,66 +331,131 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
               trace_base + static_cast<uint64_t>(u)};
   QueryWallClock wall_clock(pool_->num_threads(), nu, start);
 
-  // --- phase A: invariant lower bound for every (query, graph) pair ----
-  std::vector<int> lb(static_cast<size_t>(nu) * n);
-  pool_->ParallelFor(static_cast<int64_t>(nu) * n, /*grain=*/64,
-                     [&](int64_t t, int) {
-                       const int u = static_cast<int>(t / n);
-                       const int slot = static_cast<int>(t % n);
-                       lb[t] = InvariantLowerBound(ctx[u].qi,
-                                                   snap->invariants(slot));
-                     });
+  // --- phase A: the most promising probe candidates per query ----------
+  // A pool of kp = kk + topk_seed_probes lowest-(bound, id) graphs.
+  // Indexed: the VP-tree's k-nearest by (InvariantLowerBound, id) — the
+  // same set a full scan's nth_element by (bound, slot) selects, since
+  // slots ascend by id. Unindexed: materialize the bound matrix and
+  // select directly. Both paths pick the identical pool, so the cap —
+  // and with it the phase-C task set — is identical either way.
+  const int kp =
+      std::min(n, kk + std::max(0, topk_probes_));  ///< probe-pool size
+  std::shared_ptr<const IndexView> iview;
+  if (index_ != nullptr && n > 0) iview = index_->ViewFor(snap);
+  std::vector<IndexStats> istats(nu);
+  std::vector<int> seeds(static_cast<size_t>(nu) * kp);
+  std::vector<int> lb;  ///< unindexed only: nu x n bound matrix
+  if (iview != nullptr) {
+    pool_->ParallelFor(nu, /*grain=*/1, [&](int64_t u, int worker) {
+      std::vector<std::pair<int, int>> nearest;  // (bound, id) ascending
+      iview->TopKSeeds(ctx[u].qi, static_cast<size_t>(kp), &nearest,
+                       &istats[u]);
+      OTGED_DCHECK(static_cast<int>(nearest.size()) == kp);
+      for (int i = 0; i < kp; ++i)
+        seeds[static_cast<size_t>(u) * kp + i] =
+            snap->SlotOf(nearest[static_cast<size_t>(i)].second);
+      wall_clock.MarkDone(worker, static_cast<int>(u));
+    });
+  } else {
+    lb.resize(static_cast<size_t>(nu) * n);
+    pool_->ParallelFor(static_cast<int64_t>(nu) * n, /*grain=*/64,
+                       [&](int64_t t, int) {
+                         const int u = static_cast<int>(t / n);
+                         const int slot = static_cast<int>(t % n);
+                         lb[t] = InvariantLowerBound(
+                             ctx[u].qi, snap->invariants(slot));
+                       });
+    for (int u = 0; u < nu; ++u) {
+      const int* row = lb.data() + static_cast<size_t>(u) * n;
+      std::vector<int> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::nth_element(order.begin(), order.begin() + (kp - 1), order.end(),
+                       [&](int a, int b) {
+                         return row[a] != row[b] ? row[a] < row[b] : a < b;
+                       });
+      std::copy(order.begin(), order.begin() + kp,
+                seeds.begin() + static_cast<size_t>(u) * kp);
+    }
+  }
 
   // --- phase B: cap each query's k-th best distance ---------------------
-  // Per query, the kk candidates with the smallest (lb, slot) each admit
-  // a feasible edit path no longer than their Classic upper bound (or
-  // their cached exact distance, when known); the largest of those kk
-  // upper bounds caps the true k-th best distance.
-  std::vector<int> seeds(static_cast<size_t>(nu) * kk);
-  for (int u = 0; u < nu; ++u) {
-    const int* row = lb.data() + static_cast<size_t>(u) * n;
-    std::vector<int> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::nth_element(order.begin(), order.begin() + (kk - 1), order.end(),
-                     [&](int a, int b) {
-                       return row[a] != row[b] ? row[a] < row[b] : a < b;
-                     });
-    std::copy(order.begin(), order.begin() + kk,
-              seeds.begin() + static_cast<size_t>(u) * kk);
-  }
-  std::vector<int> seed_ub(static_cast<size_t>(nu) * kk);
-  pool_->ParallelFor(static_cast<int64_t>(nu) * kk, /*grain=*/1,
-                     [&](int64_t t, int worker) {
-                       const int u = static_cast<int>(t / kk);
-                       const int slot = seeds[t];
-                       if (use_cache_) {
-                         if (std::optional<int> ged =
-                                 cache_.Lookup(ctx[u].fp, snap->id(slot))) {
-                           seed_ub[t] = *ged;
-                           wall_clock.MarkDone(worker, u);
-                           return;
-                         }
-                       }
-                       auto [g1, g2] = OrderBySize(*queries[uniq[u]],
-                                                   snap->graph(slot));
-                       seed_ub[t] = ClassicGed(*g1, *g2).ged;
-                       wall_clock.MarkDone(worker, u);
-                     });
+  // Every probe admits a feasible edit path no longer than its upper
+  // bound (cached exact distance when known), so the kk-th *smallest*
+  // bound over the pool caps the true kk-th best distance. Two things
+  // keep that cap tight, and phase C walks *every* graph whose lower
+  // bound is under it, so tightness is the whole game: (1) each probe's
+  // greedy Classic bound — often 3-4x the true distance on near-identical
+  // pairs — is refined by a budgeted branch-and-bound whose incumbent is
+  // still a feasible path (admissible, proven or not); (2) the pool
+  // extends topk_seed_probes past kk, because the invariant bound is weak
+  // enough that unrelated graphs routinely tie with the query's true
+  // neighbors at the lowest bounds — with extras, the true neighbors'
+  // small refined bounds push the false friends' large ones out of the
+  // cap. Together they collapse the phase-C range by orders of magnitude
+  // on clustered corpora.
+  std::vector<int> seed_ub(static_cast<size_t>(nu) * kp);
+  pool_->ParallelFor(
+      static_cast<int64_t>(nu) * kp, /*grain=*/1,
+      [&](int64_t t, int worker) {
+        const int u = static_cast<int>(t / kp);
+        const int slot = seeds[t];
+        if (use_cache_) {
+          if (std::optional<int> ged =
+                  cache_.Lookup(ctx[u].fp, snap->id(slot))) {
+            seed_ub[t] = *ged;
+            wall_clock.MarkDone(worker, u);
+            return;
+          }
+        }
+        auto [g1, g2] = OrderBySize(*queries[uniq[u]], snap->graph(slot));
+        int ub = ClassicGed(*g1, *g2).ged;
+        if (topk_refine_budget_ > 0) {
+          BnbOptions ref;
+          ref.initial_upper_bound = ub;
+          ref.max_visits = topk_refine_budget_;
+          GedSearchResult r = BranchAndBoundGed(*g1, *g2, ref);
+          ub = r.ged;
+          if (use_cache_ && r.exact)
+            cache_.Insert(ctx[u].fp, snap->id(slot), r.ged);
+        }
+        seed_ub[t] = ub;
+        wall_clock.MarkDone(worker, u);
+      });
   std::vector<int> tau0(nu);
-  for (int u = 0; u < nu; ++u)
-    tau0[u] = *std::max_element(
-        seed_ub.begin() + static_cast<size_t>(u) * kk,
-        seed_ub.begin() + static_cast<size_t>(u + 1) * kk);
+  for (int u = 0; u < nu; ++u) {
+    std::vector<int> row(seed_ub.begin() + static_cast<size_t>(u) * kp,
+                         seed_ub.begin() + static_cast<size_t>(u + 1) * kp);
+    std::nth_element(row.begin(), row.begin() + (kk - 1), row.end());
+    tau0[u] = row[static_cast<size_t>(kk - 1)];
+  }
 
   // --- phase C: exact verification of surviving candidates -------------
+  // The task set is exactly { slot : InvariantLowerBound <= tau0 }: the
+  // VP-tree's LB-range cut computes the same set the bound matrix scan
+  // does, so indexed and unindexed top-k verify identical pairs.
   std::vector<std::pair<int, int>> tasks;  ///< (unique query, slot)
   std::vector<long> screened(nu, 0);
-  for (int u = 0; u < nu; ++u) {
-    for (int slot = 0; slot < n; ++slot) {
-      if (lb[static_cast<size_t>(u) * n + slot] <= tau0[u])
-        tasks.emplace_back(u, slot);
-      else
-        ++screened[u];
+  if (iview != nullptr) {
+    std::vector<std::vector<int>> cand(nu);
+    pool_->ParallelFor(nu, /*grain=*/1, [&](int64_t u, int worker) {
+      std::vector<int> ids;
+      iview->LbRangeCandidates(ctx[u].qi, tau0[u], &ids, &istats[u]);
+      cand[u].reserve(ids.size());
+      for (const int id : ids) cand[u].push_back(snap->SlotOf(id));
+      wall_clock.MarkDone(worker, static_cast<int>(u));
+    });
+    for (int u = 0; u < nu; ++u) {
+      for (const int slot : cand[u]) tasks.emplace_back(u, slot);
+      screened[u] = static_cast<long>(n) - static_cast<long>(cand[u].size());
+    }
+  } else {
+    for (int u = 0; u < nu; ++u) {
+      for (int slot = 0; slot < n; ++slot) {
+        if (lb[static_cast<size_t>(u) * n + slot] <= tau0[u])
+          tasks.emplace_back(u, slot);
+        else
+          ++screened[u];
+      }
     }
   }
   std::vector<CascadeVerdict> verdicts(tasks.size());
@@ -380,19 +492,28 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
               });
     if (static_cast<int>(res.hits.size()) > kk) res.hits.resize(kk);
     for (const auto& ws : worker_stats) res.stats.cascade.Merge(ws[u]);
-    // Phase A screened all n candidates; fold the ones that never reached
-    // the cascade into its tier-0 counter so the stats describe the query
-    // — and mirror the fold into the global counters so Prometheus totals
-    // keep reconciling with summed QueryStats.
+    res.stats.index = istats[u];
+    // Fold the candidates screened out before the cascade (by the index's
+    // LB-range cut, or by phase A's bound matrix) into the stats so they
+    // describe the query — and mirror the fold into the global counters
+    // so Prometheus totals keep reconciling with summed QueryStats.
     res.stats.cascade.candidates += screened[u];
-    res.stats.cascade.pruned_invariant += screened[u];
     OTGED_COUNT_N("otged_cascade_candidates_total",
                   "candidate pairs fed into the filter cascade",
                   screened[u]);
-    OTGED_COUNT_N("otged_cascade_pruned_total{tier=\"invariant\"}",
-                  "pairs dismissed by an admissible lower bound at this "
-                  "tier",
-                  screened[u]);
+    if (iview != nullptr) {
+      res.stats.cascade.pruned_index += screened[u];
+      OTGED_COUNT_N("otged_cascade_pruned_total{tier=\"index\"}",
+                    "pairs dismissed by the candidate index before the "
+                    "cascade",
+                    screened[u]);
+    } else {
+      res.stats.cascade.pruned_invariant += screened[u];
+      OTGED_COUNT_N("otged_cascade_pruned_total{tier=\"invariant\"}",
+                    "pairs dismissed by an admissible lower bound at this "
+                    "tier",
+                    screened[u]);
+    }
     res.stats.wall_ms = wall_clock.WallMs(u, wall);
     res.stats.epoch = snap->epoch();
     res.stats.trace_id = ctx[u].trace_id;

@@ -11,6 +11,16 @@
 /// per-candidate slots and statistics are merged from per-worker buffers
 /// with commutative sums, so scheduling order never leaks into the output.
 ///
+/// With the index enabled (the default), candidate generation goes
+/// through GraphIndex first: the partition/label levels produce a range
+/// candidate list and the VP-tree seeds top-k, so the cascade only sees
+/// a sublinear slice of the store. Index pruning uses the same
+/// admissible bounds a full scan's tier 0 would, so hits are
+/// byte-identical with the index on or off; pairs the index dismissed
+/// are folded into the query's CascadeStats as `pruned_index`, keeping
+/// `candidates == corpus size` per query and all counter reconciliation
+/// intact.
+///
 /// Pairs whose exact distance the cascade proves are remembered in a
 /// sharded LRU bound cache keyed by (query content fingerprint, stable
 /// graph id); repeat queries skip every tier for cached pairs. Only
@@ -37,6 +47,7 @@
 #include "search/bound_cache.hpp"
 #include "search/filter_cascade.hpp"
 #include "search/graph_store.hpp"
+#include "search/index/graph_index.hpp"
 #include "search/work_stealing_pool.hpp"
 
 namespace otged {
@@ -46,6 +57,30 @@ struct EngineOptions {
   CascadeOptions cascade;
   bool use_bound_cache = true;    ///< cache proven-exact pair distances
   size_t cache_capacity = 65536;  ///< bound-cache entry budget
+  /// Generate candidates through the multi-level index instead of
+  /// scanning every stored graph. The index prunes only via admissible
+  /// lower bounds, so results are byte-identical either way; turning it
+  /// off is for verification and micro-benchmarks.
+  bool use_index = true;
+  IndexOptions index;
+  /// Top-k verifies every graph whose lower bound is under the cap set
+  /// by the k seeds' upper bounds, so a loose greedy bound on one seed
+  /// drags in a large slice of the corpus. Each seed pair therefore
+  /// gets a budgeted branch-and-bound refinement (node-visit budget
+  /// below; 0 disables) before the cap is taken — the incumbent it
+  /// returns is a feasible edit path, so the cap stays admissible and
+  /// results are byte-identical, only cheaper. k seeds per query pay
+  /// this; the collapsed verification set repays it at any real corpus
+  /// size.
+  long topk_seed_refine_budget = 50'000;
+  /// How many low-bound candidates beyond k get a refined upper bound
+  /// before the cap is taken. The k-th *smallest* refined bound over the
+  /// whole probe pool caps the k-th best distance (each probe admits a
+  /// feasible path), so a pool that contains the true neighbors yields a
+  /// near-tight cap even when the k lowest-LB graphs are false friends —
+  /// ties in the weak invariant bound routinely rank unrelated graphs
+  /// ahead of a query's true cluster. 0 = cap from the k seeds alone.
+  int topk_seed_probes = 16;
 };
 
 /// Per-query serving telemetry.
@@ -60,6 +95,8 @@ struct QueryStats {
   uint64_t trace_id = 0;   ///< process-unique query id; TraceEvents carry
                            ///< it (duplicate queries in a batch share one)
   CascadeStats cascade;    ///< tier-by-tier pruning and solver counts
+  IndexStats index;        ///< what the candidate index did (zeros when
+                           ///< the engine runs without an index)
 };
 
 /// One search hit, shared by range and top-k results. `id` is the stable
@@ -133,6 +170,10 @@ class QueryEngine {
   int num_threads() const { return pool_->num_threads(); }
   /// Current bound-cache occupancy (proven-exact pairs retained).
   size_t CacheSize() const { return cache_.Size(); }
+  /// The candidate-generation index, or nullptr when use_index is off.
+  /// Exposed for persistence (store_serialize saves/adopts through it)
+  /// and for inspection; serving maintains it automatically.
+  GraphIndex* index() const { return index_.get(); }
 
  private:
   /// Per-query precomputation shared by all of its pair evaluations.
@@ -163,9 +204,14 @@ class QueryEngine {
 
   const GraphStore* store_;
   FilterCascade cascade_;
+  /// Mutable because serving (const) advances the cached view; GraphIndex
+  /// is internally synchronized.
+  std::unique_ptr<GraphIndex> index_;
   std::unique_ptr<WorkStealingPool> pool_;
   mutable Mutex serve_mu_;  ///< one call at a time on the pool
   bool use_cache_;
+  long topk_refine_budget_;
+  int topk_probes_;
   mutable BoundCache cache_;
   mutable size_t erase_cursor_ GUARDED_BY(serve_mu_) = 0;
 };

@@ -1,5 +1,6 @@
 #include "search/store_serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -73,7 +74,7 @@ bool ReadInvariants(std::string_view buf, size_t* offset,
 }  // namespace
 
 bool SaveGraphStore(const GraphStore& store, const std::string& path,
-                    std::string* error) {
+                    std::string* error, GraphIndex* index) {
   // Pin one snapshot so the file is internally consistent even if the
   // store mutates mid-save; NextId is read after and only moves forward,
   // so it is always >= every id in the snapshot.
@@ -87,6 +88,25 @@ bool SaveGraphStore(const GraphStore& store, const std::string& path,
     AppendPod<int64_t>(&payload, snap->id(slot));
     AppendGraphBinary(&payload, snap->graph(slot));
     AppendInvariants(&payload, snap->invariants(slot));
+  }
+  if (index != nullptr) {
+    // Compact first (empty overlay) so the persisted tree — and its
+    // digest — equal a deterministic from-scratch rebuild of this
+    // snapshot.
+    const PersistedIndex pi =
+        MakePersistedIndex(*index->CompactViewFor(snap));
+    AppendPod<uint8_t>(&payload, 1u);
+    AppendPod<int32_t>(&payload, pi.wl_prefix_bits);
+    AppendPod<uint64_t>(&payload, static_cast<uint64_t>(pi.nodes.size()));
+    for (size_t i = 0; i < pi.nodes.size(); ++i) {
+      AppendPod<int64_t>(&payload, pi.node_ids[i]);
+      AppendPod<int32_t>(&payload, pi.nodes[i].r_in_max);
+      AppendPod<int32_t>(&payload, pi.nodes[i].r_out_min);
+      AppendPod<int32_t>(&payload, pi.nodes[i].inner);
+    }
+    AppendPod<uint64_t>(&payload, pi.digest);
+  } else {
+    AppendPod<uint8_t>(&payload, 0u);
   }
 
   std::ofstream out(path, std::ios::binary);
@@ -105,7 +125,7 @@ bool SaveGraphStore(const GraphStore& store, const std::string& path,
 }
 
 bool LoadGraphStore(GraphStore* store, const std::string& path,
-                    std::string* error) {
+                    std::string* error, GraphIndex* index) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Fail(error, "cannot open " + path);
   std::string file((std::istreambuf_iterator<char>(in)),
@@ -118,7 +138,7 @@ bool LoadGraphStore(GraphStore* store, const std::string& path,
   if (!ReadPod<uint64_t>(file, &offset, &magic) || magic != kMagic)
     return Fail(error, "not a GraphStore file (bad magic)");
   if (!ReadPod<uint32_t>(file, &offset, &version) ||
-      version != kStoreFormatVersion)
+      (version != 1 && version != kStoreFormatVersion))
     return Fail(error, "unsupported format version " +
                            std::to_string(version));
   if (!ReadPod<uint32_t>(file, &offset, &reserved))
@@ -169,11 +189,62 @@ bool LoadGraphStore(GraphStore* store, const std::string& path,
                              ": invariants do not match the graph");
     entries.emplace_back(static_cast<int>(id), std::move(*g));
   }
+
+  // --- index section (v2+) ---------------------------------------------
+  // Fully parsed and validated against the entry list *before* Restore,
+  // so a malformed file never mutates the store.
+  PersistedIndex pi;
+  bool has_index = false;
+  if (version >= 2) {
+    uint8_t flag = 0;
+    if (!ReadPod(payload, &p, &flag) || flag > 1)
+      return Fail(error, "malformed index flag");
+    if (flag == 1) {
+      has_index = true;
+      int32_t bits = 0;
+      uint64_t node_count = 0;
+      if (!ReadPod(payload, &p, &bits) ||
+          !ReadPod(payload, &p, &node_count) || bits < 1 || bits > 64)
+        return Fail(error, "malformed index header");
+      if (node_count != count)
+        return Fail(error, "index node count != entry count");
+      pi.wl_prefix_bits = bits;
+      pi.node_ids.reserve(node_count);
+      pi.nodes.reserve(node_count);
+      for (uint64_t i = 0; i < node_count; ++i) {
+        int64_t id = -1;
+        VpTreeNode node;
+        if (!ReadPod(payload, &p, &id) ||
+            !ReadPod(payload, &p, &node.r_in_max) ||
+            !ReadPod(payload, &p, &node.r_out_min) ||
+            !ReadPod(payload, &p, &node.inner))
+          return Fail(error, "truncated index node");
+        // Vantage ids must name graphs in the entry list (ascending by
+        // id, so a binary search suffices).
+        const auto it = std::lower_bound(
+            entries.begin(), entries.end(), id,
+            [](const auto& e, int64_t v) { return e.first < v; });
+        if (it == entries.end() || it->first != id)
+          return Fail(error, "index references unknown graph id");
+        pi.node_ids.push_back(static_cast<int>(id));
+        pi.nodes.push_back(node);
+      }
+      if (!ReadPod(payload, &p, &pi.digest))
+        return Fail(error, "truncated index digest");
+    }
+  }
   if (p != payload.size())
     return Fail(error, "trailing bytes after last entry");
 
   if (!store->Restore(std::move(entries), static_cast<int>(next_id)))
     return Fail(error, "store rejected the id sequence");
+  if (index != nullptr && has_index) {
+    if (pi.wl_prefix_bits != index->options().wl_prefix_bits)
+      return true;  // config changed since save: rebuild lazily instead
+    std::string adopt_error;
+    if (!index->AdoptPersisted(store->Snapshot(), pi, &adopt_error))
+      return Fail(error, "index section inconsistent: " + adopt_error);
+  }
   return true;
 }
 

@@ -5,7 +5,8 @@
 /// little-endian), so files are not portable to an opposite-endian host
 /// — there they fail cleanly on the magic/checksum validation.
 ///
-/// File layout (version 1):
+/// File layout (version 2; version-1 files, which end after the entry
+/// list, still load):
 ///   uint64  magic "OTGSTOR1"
 ///   uint32  format version
 ///   uint32  reserved (zero)
@@ -16,6 +17,12 @@
 ///             graph          (canonical binary encoding, graph_io)
 ///             invariants     (n, m int32; wl_hash uint64;
 ///                             n int32 labels; n int32 degrees)
+///     uint8   has_index      (v2+: 1 iff an index section follows)
+///     index:  int32  wl_prefix_bits
+///             uint64 node count (== entry count)
+///             node*: int64 vantage id, int32 r_in_max, int32 r_out_min,
+///                    int32 inner        (VP-tree preorder layout)
+///             uint64 structural digest of the full rebuilt view
 ///   uint64  FNV-1a checksum of the payload bytes
 ///
 /// Load validates magic, version and checksum, then *recomputes* every
@@ -23,6 +30,12 @@
 /// stored ones — so a successful load is guaranteed bit-identical to a
 /// rebuild from the same graphs, and silent corruption of either the
 /// graphs or the index cannot slip through.
+///
+/// The index section persists only the VP-tree (partitions and postings
+/// are derived data, rebuilt from the entries on adoption); the stored
+/// digest must match the adopted view's StructuralDigest, which — because
+/// saving always compacts the view first — equals the digest of a
+/// from-scratch rebuild. reload == rebuild, verified on every load.
 #ifndef OTGED_SEARCH_STORE_SERIALIZE_HPP_
 #define OTGED_SEARCH_STORE_SERIALIZE_HPP_
 
@@ -30,21 +43,31 @@
 #include <string>
 
 #include "search/graph_store.hpp"
+#include "search/index/graph_index.hpp"
 
 namespace otged {
 
-inline constexpr uint32_t kStoreFormatVersion = 1;
+inline constexpr uint32_t kStoreFormatVersion = 2;
 
-/// Serializes the store's current snapshot to `path`. Returns false on
-/// I/O failure (with `error` describing it).
+/// Serializes the store's current snapshot to `path`. When `index` is
+/// non-null its compacted view for that snapshot is saved alongside (a
+/// v2 index section). Returns false on I/O failure (with `error`
+/// describing it).
 bool SaveGraphStore(const GraphStore& store, const std::string& path,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr,
+                    GraphIndex* index = nullptr);
 
 /// Replaces `store`'s contents with the file's. On any failure (I/O, bad
 /// magic/version, checksum mismatch, malformed entries, invariant
-/// mismatch) returns false and leaves the store untouched.
+/// mismatch, malformed index section) returns false and leaves the store
+/// untouched. When `index` is non-null and the file carries an index
+/// section with matching configuration, the persisted VP-tree is adopted
+/// into `index` and verified (digest == rebuild) against the restored
+/// snapshot; a config mismatch simply skips adoption (the next query
+/// rebuilds).
 bool LoadGraphStore(GraphStore* store, const std::string& path,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr,
+                    GraphIndex* index = nullptr);
 
 }  // namespace otged
 

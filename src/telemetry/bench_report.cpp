@@ -46,8 +46,9 @@ bool WriteBenchJson(const BenchReport& report, const std::string& path,
     return false;
   }
   const std::string rev = GitRevision();
-  static const char* kTierNames[6] = {"invariant", "branch", "heuristic",
-                                      "ot",        "exact",  "cache"};
+  static const char* kTierNames[7] = {"invariant", "branch", "heuristic",
+                                      "ot",        "exact",  "cache",
+                                      "index"};
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"%s\",\n"
@@ -64,14 +65,30 @@ bool WriteBenchJson(const BenchReport& report, const std::string& path,
                report.corpus_size, report.num_queries, report.qps,
                report.p50_ms, report.p95_ms, report.p99_ms);
   std::fprintf(f, "  \"tier_fractions\": {");
-  for (int t = 0; t < 6; ++t)
+  for (int t = 0; t < 7; ++t)
     std::fprintf(f, "%s\"%s\": %.4f", t == 0 ? "" : ", ", kTierNames[t],
                  report.tier_fractions[t]);
   std::fprintf(f,
                "},\n"
-               "  \"cache_hit_rate\": %.4f\n"
-               "}\n",
+               "  \"cache_hit_rate\": %.4f",
                report.cache_hit_rate);
+  if (report.has_cache)
+    std::fprintf(f,
+                 ",\n  \"cache\": {\"repeat_ratio\": %.4f, "
+                 "\"warm_hit_rate\": %.4f, \"warm_lookups\": %ld}",
+                 report.cache_repeat_ratio, report.cache_warm_hit_rate,
+                 report.cache_warm_lookups);
+  if (report.has_index)
+    std::fprintf(f,
+                 ",\n  \"index\": {\"candidate_fraction\": %.4f, "
+                 "\"partition_prune_fraction\": %.4f, "
+                 "\"label_prune_fraction\": %.4f, "
+                 "\"vptree_prune_fraction\": %.4f}",
+                 report.index_candidate_fraction,
+                 report.index_partition_prune_fraction,
+                 report.index_label_prune_fraction,
+                 report.index_vptree_prune_fraction);
+  std::fprintf(f, "\n}\n");
   const bool ok = std::fclose(f) == 0;
   if (!ok && error) *error = "write to " + path + " failed";
   return ok;

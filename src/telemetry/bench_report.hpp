@@ -20,9 +20,28 @@
 ///     "qps":          number   queries per second
 ///     "latency_ms":   {"p50": number, "p95": number, "p99": number}
 ///     "tier_fractions": {"invariant","branch","heuristic","ot","exact",
-///                        "cache": number}   fraction of candidate pairs
-///                                           settled per tier (sums to 1)
+///                        "cache","index": number}  fraction of candidate
+///                                           pairs settled per tier
+///                                           (sums to 1; "index" = pairs
+///                                           the GraphIndex dismissed
+///                                           before the cascade ran)
 ///     "cache_hit_rate": number  bound-cache hits / candidate pairs
+///   }
+///
+/// Two optional sections (emitted when the producing bench measured
+/// them; validated when present):
+///
+///   "cache": {            warm-cache methodology of the SLO phase
+///     "repeat_ratio":  number  fraction of SLO queries that repeat an
+///                              earlier query verbatim
+///     "warm_hit_rate": number  bound-cache hit rate over the warm pass
+///     "warm_lookups":  integer cache lookups in the warm pass
+///   }
+///   "index": {            GraphIndex candidate-generation quality
+///     "candidate_fraction":      number  candidates / (queries * corpus)
+///     "partition_prune_fraction": number  graphs dismissed per level,
+///     "label_prune_fraction":     number  as a fraction of all
+///     "vptree_prune_fraction":    number  (query, graph) pairs
 ///   }
 #ifndef OTGED_TELEMETRY_BENCH_REPORT_HPP_
 #define OTGED_TELEMETRY_BENCH_REPORT_HPP_
@@ -42,10 +61,27 @@ struct BenchReport {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
-  /// Indexed by CascadeTier (0..5: invariant, branch, heuristic, ot,
-  /// exact, cache); fraction of candidate pairs settled by each tier.
-  double tier_fractions[6] = {0, 0, 0, 0, 0, 0};
+  /// Slots 0..5 indexed by CascadeTier (invariant, branch, heuristic,
+  /// ot, exact, cache); slot 6 is "index" — pairs the GraphIndex
+  /// dismissed before the cascade ran. Fractions of candidate pairs
+  /// settled per tier; they partition 1.
+  double tier_fractions[7] = {0, 0, 0, 0, 0, 0, 0};
   double cache_hit_rate = 0.0;
+
+  /// Optional warm-cache methodology section (`"cache"` in the JSON);
+  /// emitted when `has_cache` is set.
+  bool has_cache = false;
+  double cache_repeat_ratio = 0.0;
+  double cache_warm_hit_rate = 0.0;
+  long cache_warm_lookups = 0;
+
+  /// Optional index-quality section (`"index"` in the JSON); emitted
+  /// when `has_index` is set.
+  bool has_index = false;
+  double index_candidate_fraction = 0.0;
+  double index_partition_prune_fraction = 0.0;
+  double index_label_prune_fraction = 0.0;
+  double index_vptree_prune_fraction = 0.0;
 };
 
 /// The current git revision: $GITHUB_SHA if set, else `git rev-parse

@@ -1,0 +1,213 @@
+/// \file search_index_hammer_test.cpp
+/// \brief Concurrency hammer for the candidate index, written to be
+/// clean under ThreadSanitizer: one mutator thread churns the store
+/// while query threads pull snapshot-consistent views and cross-check
+/// indexed candidate sets against a brute-force scan of the very
+/// snapshot each view was built for — a torn view, a stale posting, or
+/// a half-applied VP-tree overlay would break the equality. A second
+/// test hammers the full engine and verifies every served answer
+/// against per-epoch exact ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exact/branch_and_bound.hpp"
+#include "graph/generator.hpp"
+#include "heuristics/bipartite.hpp"
+#include "search/index/graph_index.hpp"
+#include "search/query_engine.hpp"
+
+namespace otged {
+namespace {
+
+int ExactGed(const Graph& a, const Graph& b) {
+  auto [g1, g2] = OrderBySize(a, b);
+  BnbOptions opt;
+  opt.initial_upper_bound = ClassicGed(*g1, *g2).ged;
+  GedSearchResult res = BranchAndBoundGed(*g1, *g2, opt);
+  EXPECT_TRUE(res.exact);
+  return res.ged;
+}
+
+/// The index-level hammer: every view a querier obtains must agree with
+/// a linear scan of the snapshot it claims to represent. The rebuild
+/// threshold is forced low so the concurrent path crosses incremental
+/// advances AND full VP-tree rebuilds.
+TEST(IndexHammerTest, ConcurrentViewsMatchTheirSnapshots) {
+  constexpr int kBase = 60, kMutations = 80, kTau = 2;
+  Rng rng(171);
+  GraphStore store;
+  std::vector<Graph> pool;
+  for (int i = 0; i < kBase; ++i) pool.push_back(AidsLikeGraph(&rng, 3, 9));
+  store.AddAll(pool);
+  std::vector<GraphInvariants> queries;
+  for (int q = 0; q < 6; ++q)
+    queries.push_back(ComputeInvariants(AidsLikeGraph(&rng, 3, 9)));
+
+  IndexOptions iopt;
+  iopt.vp_rebuild_min = 8;  // force rebuilds under churn
+  iopt.vp_rebuild_fraction = 0.05;
+  GraphIndex index(iopt);
+  (void)index.ViewFor(store.Snapshot());
+
+  std::thread mutator([&] {
+    Rng mrng(172);
+    for (int i = 0; i < kMutations; ++i) {
+      if (i % 2 == 0) {
+        store.Insert(pool[static_cast<size_t>(i) % pool.size()]);
+      } else {
+        (void)store.Erase(mrng.UniformInt(0, store.NextId() - 1));
+      }
+    }
+  });
+
+  auto serve = [&] {
+    for (int round = 0; round < 40; ++round) {
+      auto snap = store.Snapshot();
+      auto view = index.ViewFor(snap);
+      ASSERT_EQ(view->epoch(), snap->epoch());
+      ASSERT_EQ(view->Size(), snap->Size());
+      const GraphInvariants& qi =
+          queries[static_cast<size_t>(round) % queries.size()];
+
+      // Brute ground truth straight from the pinned snapshot.
+      std::vector<int> lb_expected;
+      for (int slot = 0; slot < snap->Size(); ++slot)
+        if (InvariantLowerBound(qi, snap->invariants(slot)) <= kTau)
+          lb_expected.push_back(snap->id(slot));
+
+      std::vector<int> lb_got;
+      IndexStats stats;
+      view->LbRangeCandidates(qi, kTau, &lb_got, &stats);
+      ASSERT_EQ(lb_got, lb_expected) << "epoch " << snap->epoch();
+
+      std::vector<int> cand;
+      IndexStats cstats;
+      view->RangeCandidates(qi, kTau, &cand, &cstats);
+      ASSERT_EQ(cstats.scanned, snap->Size());
+      ASSERT_EQ(cstats.scanned, cstats.candidates + cstats.PrunedTotal());
+      for (int id : lb_expected)  // superset of every true hit
+        ASSERT_TRUE(std::binary_search(cand.begin(), cand.end(), id))
+            << "epoch " << snap->epoch() << " id " << id;
+
+      std::vector<std::pair<int, int>> seeds;
+      IndexStats kstats;
+      view->TopKSeeds(qi, 5, &seeds, &kstats);
+      std::vector<std::pair<int, int>> brute;
+      for (int slot = 0; slot < snap->Size(); ++slot)
+        brute.emplace_back(
+            InvariantLowerBound(qi, snap->invariants(slot)),
+            snap->id(slot));
+      std::sort(brute.begin(), brute.end());
+      brute.resize(std::min<size_t>(brute.size(), 5));
+      ASSERT_EQ(seeds, brute) << "epoch " << snap->epoch();
+    }
+  };
+  std::thread querier0(serve);
+  std::thread querier1(serve);
+  mutator.join();
+  querier0.join();
+  querier1.join();
+}
+
+/// The engine-level hammer: indexed range queries racing one mutator
+/// must return the exact brute-force answer for the corpus at their
+/// reported epoch.
+TEST(IndexHammerTest, IndexedServingIsExactAtEveryEpoch) {
+  constexpr int kBase = 12, kExtras = 14, kQueries = 5, kRounds = 4;
+  constexpr int kTau = 2;
+  Rng rng(191);
+
+  std::vector<Graph> universe;
+  for (int i = 0; i < kBase + kExtras; ++i)
+    universe.push_back(AidsLikeGraph(&rng, 3, 6));
+  std::vector<Graph> queries;
+  for (int q = 0; q < kQueries; ++q)
+    queries.push_back(AidsLikeGraph(&rng, 3, 6));
+
+  std::vector<std::vector<int>> exact(kQueries);
+  for (int q = 0; q < kQueries; ++q)
+    for (const Graph& g : universe)
+      exact[static_cast<size_t>(q)].push_back(ExactGed(queries[q], g));
+
+  GraphStore store;
+  for (int i = 0; i < kBase; ++i) store.Insert(universe[i]);
+
+  std::mutex epochs_mu;
+  std::map<uint64_t, std::vector<int>> epoch_sets;
+  std::vector<int> base_ids(kBase);
+  for (int i = 0; i < kBase; ++i) base_ids[i] = i;
+  epoch_sets[store.Epoch()] = base_ids;
+
+  EngineOptions opt;
+  opt.num_threads = 2;
+  opt.index.vp_rebuild_min = 4;  // cross the rebuild path mid-hammer
+  opt.index.vp_rebuild_fraction = 0.05;
+  QueryEngine engine(&store, opt);
+
+  std::thread mutator([&] {
+    for (int i = 0; i < kExtras; ++i) {
+      const int id = store.Insert(universe[kBase + i]);
+      ASSERT_EQ(id, kBase + i);
+      {
+        std::lock_guard<std::mutex> lock(epochs_mu);
+        std::vector<int> present = base_ids;
+        present.push_back(id);
+        epoch_sets[store.Epoch()] = std::move(present);
+      }
+      ASSERT_TRUE(store.Erase(id));
+      {
+        std::lock_guard<std::mutex> lock(epochs_mu);
+        epoch_sets[store.Epoch()] = base_ids;
+      }
+    }
+  });
+
+  struct Observation {
+    int query;
+    uint64_t epoch;
+    std::vector<int> hit_ids;
+  };
+  std::vector<std::vector<Observation>> observed(2);
+  auto serve = [&](int worker) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (int q = 0; q < kQueries; ++q) {
+        RangeResult res = engine.Range(queries[q], kTau);
+        EXPECT_EQ(res.stats.index.scanned,
+                  res.stats.index.candidates +
+                      res.stats.index.PrunedTotal());
+        Observation obs{q, res.stats.epoch, {}};
+        for (const RangeHit& h : res.hits) obs.hit_ids.push_back(h.id);
+        observed[static_cast<size_t>(worker)].push_back(std::move(obs));
+      }
+    }
+  };
+  std::thread querier0([&] { serve(0); });
+  std::thread querier1([&] { serve(1); });
+  mutator.join();
+  querier0.join();
+  querier1.join();
+
+  for (const auto& worker_obs : observed) {
+    for (const Observation& obs : worker_obs) {
+      auto it = epoch_sets.find(obs.epoch);
+      ASSERT_NE(it, epoch_sets.end())
+          << "served epoch " << obs.epoch << " was never a corpus state";
+      std::vector<int> expected;
+      for (int id : it->second)
+        if (exact[static_cast<size_t>(obs.query)][static_cast<size_t>(
+                id)] <= kTau)
+          expected.push_back(id);
+      EXPECT_EQ(obs.hit_ids, expected)
+          << "query " << obs.query << " at epoch " << obs.epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otged

@@ -245,6 +245,8 @@ struct NamedField {
 
 constexpr NamedField kCascadeFields[] = {
     {"otged_cascade_candidates_total", &CascadeStats::candidates},
+    {"otged_cascade_pruned_total{tier=\"index\"}",
+     &CascadeStats::pruned_index},
     {"otged_cascade_pruned_total{tier=\"invariant\"}",
      &CascadeStats::pruned_invariant},
     {"otged_cascade_passed_total{tier=\"invariant\"}",
@@ -324,8 +326,11 @@ TEST(TelemetryEndToEndTest, TraceEventsMatchCandidateDecisions) {
 
   EXPECT_EQ(trace_ids.size(), queries.size());  // distinct queries
   std::vector<telemetry::TraceEvent> events = sink.Drain();
-  // One event per (query, candidate) cascade decision.
-  EXPECT_EQ(static_cast<long>(events.size()), total.candidates);
+  // One event per (query, candidate) cascade decision. Candidates the
+  // index dismissed never reach the cascade (that is the point of the
+  // index), so they produce no trace events.
+  EXPECT_EQ(static_cast<long>(events.size()),
+            total.candidates - total.pruned_index);
   long by_tier[6] = {0, 0, 0, 0, 0, 0};
   for (const telemetry::TraceEvent& ev : events) {
     ASSERT_GE(ev.tier, 0);

@@ -4,12 +4,17 @@
 Schema source of truth: src/telemetry/bench_report.hpp. Used by the CI
 bench-smoke job; exits nonzero with a per-violation message on failure.
 
+Validates any BENCH_*.json record sharing that schema, including
+BENCH_scale.json (which carries the optional "index" section) and
+BENCH_search.json (which carries the optional "cache" section).
+
 Usage: validate_bench_json.py BENCH_search.json
 """
 import json
 import sys
 
-TIERS = ("invariant", "branch", "heuristic", "ot", "exact", "cache")
+TIERS = ("invariant", "branch", "heuristic", "ot", "exact", "cache",
+         "index")
 
 
 def err(msg, problems):
@@ -93,6 +98,34 @@ def validate(doc, problems):
     rate = require(doc, "cache_hit_rate", (int, float), problems)
     if rate is not None and not 0.0 <= rate <= 1.0:
         err(f"cache_hit_rate {rate} outside [0, 1]", problems)
+
+    # Optional sections: absent is fine, present means fully valid.
+    if "cache" in doc:
+        cache = require(doc, "cache", dict, problems)
+        if cache is not None:
+            for key in ("repeat_ratio", "warm_hit_rate"):
+                val = require(cache, key, (int, float), problems)
+                if val is not None and not 0.0 <= val <= 1.0:
+                    err(f"cache.{key} {val} outside [0, 1]", problems)
+            lookups = require(cache, "warm_lookups", int, problems)
+            if lookups is not None and lookups < 0:
+                err(f"cache.warm_lookups {lookups} is negative", problems)
+            for extra in sorted(set(cache) - {"repeat_ratio",
+                                              "warm_hit_rate",
+                                              "warm_lookups"}):
+                err(f"cache has unknown key {extra!r}", problems)
+
+    if "index" in doc:
+        index = require(doc, "index", dict, problems)
+        if index is not None:
+            keys = ("candidate_fraction", "partition_prune_fraction",
+                    "label_prune_fraction", "vptree_prune_fraction")
+            for key in keys:
+                val = require(index, key, (int, float), problems)
+                if val is not None and not 0.0 <= val <= 1.0:
+                    err(f"index.{key} {val} outside [0, 1]", problems)
+            for extra in sorted(set(index) - set(keys)):
+                err(f"index has unknown key {extra!r}", problems)
 
 
 def main(argv):
