@@ -346,21 +346,25 @@ std::shared_ptr<const IndexView> GraphIndex::Advance(
 
   // VP-tree overlay: erases of tree residents become dead ids, erases of
   // delta entries drop out of the delta, inserts append to the delta.
+  // An id can be in BOTH places at once — a Restore rebind of a tree
+  // resident marks the stale tree entry dead and serves the fresh entry
+  // from the delta — so a removal must always clear the delta entry, and
+  // the dead list must stay duplicate-free.
   view->vp_ = view_->vp_;
   view->dead_ = view_->dead_;
   view->delta_ = view_->delta_;
   for (const auto& e : removed) {
+    auto it = std::lower_bound(
+        view->delta_.begin(), view->delta_.end(), e->id,
+        [](const auto& d, int id) { return d->id < id; });
+    if (it != view->delta_.end() && (*it)->id == e->id)
+      view->delta_.erase(it);
     if (std::binary_search(view->vp_->sorted_ids().begin(),
                            view->vp_->sorted_ids().end(), e->id)) {
-      view->dead_.insert(std::lower_bound(view->dead_.begin(),
-                                          view->dead_.end(), e->id),
-                         e->id);
-    } else {
-      auto it = std::lower_bound(
-          view->delta_.begin(), view->delta_.end(), e->id,
-          [](const auto& d, int id) { return d->id < id; });
-      if (it != view->delta_.end() && (*it)->id == e->id)
-        view->delta_.erase(it);
+      auto dit =
+          std::lower_bound(view->dead_.begin(), view->dead_.end(), e->id);
+      if (dit == view->dead_.end() || *dit != e->id)
+        view->dead_.insert(dit, e->id);
     }
   }
   for (const auto& e : added)

@@ -141,9 +141,10 @@ class GraphIndex {
       const std::shared_ptr<const StoreSnapshot>& snap) EXCLUDES(mu_);
 
   /// Installs a persisted index for `snap` after validating structure
-  /// and digest against a rebuild of the derived levels. On failure the
-  /// index is left empty (the next ViewFor rebuilds) and *error says
-  /// why.
+  /// and digest against a rebuild of the derived levels. On failure
+  /// nothing is installed — any previously cached view stays as it was
+  /// (the next ViewFor advances or rebuilds it for the snapshot it is
+  /// handed) — and *error says why.
   bool AdoptPersisted(const std::shared_ptr<const StoreSnapshot>& snap,
                       const PersistedIndex& persisted, std::string* error)
       EXCLUDES(mu_);

@@ -27,15 +27,20 @@
 ///
 /// Load validates magic, version and checksum, then *recomputes* every
 /// graph's invariants and rejects the file on any mismatch with the
-/// stored ones — so a successful load is guaranteed bit-identical to a
-/// rebuild from the same graphs, and silent corruption of either the
-/// graphs or the index cannot slip through.
+/// stored ones — so a successfully loaded corpus is guaranteed
+/// bit-identical to a rebuild from the same graphs, and silent
+/// corruption of the graphs cannot slip through.
 ///
 /// The index section persists only the VP-tree (partitions and postings
-/// are derived data, rebuilt from the entries on adoption); the stored
-/// digest must match the adopted view's StructuralDigest, which — because
-/// saving always compacts the view first — equals the digest of a
-/// from-scratch rebuild. reload == rebuild, verified on every load.
+/// are derived data, rebuilt from the entries on adoption); the adopted
+/// view's StructuralDigest must match the digest stored in the same
+/// file, which — because saving always compacts the view first — the
+/// writer computed from a from-scratch-equivalent view. This check is
+/// file-internal consistency, not a re-derivation: the loader never
+/// rebuilds the tree to compare, so accidental corruption is caught (by
+/// it and the FNV checksum) but a consistent file from a buggy writer
+/// would be adopted. On any index inconsistency the section is dropped
+/// and the index rebuilds from the (fully verified) graphs instead.
 #ifndef OTGED_SEARCH_STORE_SERIALIZE_HPP_
 #define OTGED_SEARCH_STORE_SERIALIZE_HPP_
 
@@ -59,12 +64,13 @@ bool SaveGraphStore(const GraphStore& store, const std::string& path,
 
 /// Replaces `store`'s contents with the file's. On any failure (I/O, bad
 /// magic/version, checksum mismatch, malformed entries, invariant
-/// mismatch, malformed index section) returns false and leaves the store
-/// untouched. When `index` is non-null and the file carries an index
-/// section with matching configuration, the persisted VP-tree is adopted
-/// into `index` and verified (digest == rebuild) against the restored
-/// snapshot; a config mismatch simply skips adoption (the next query
-/// rebuilds).
+/// mismatch, unparseable index section) returns false and leaves the
+/// store untouched. When `index` is non-null and the file carries an
+/// index section with matching configuration, the persisted VP-tree is
+/// adopted into `index` after validating its shape and digest against
+/// the restored snapshot; a config mismatch or a failed validation
+/// skips adoption without failing the load (the store is already fully
+/// verified, and the next query rebuilds the index from it).
 bool LoadGraphStore(GraphStore* store, const std::string& path,
                     std::string* error = nullptr,
                     GraphIndex* index = nullptr);
