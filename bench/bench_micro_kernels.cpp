@@ -1,22 +1,80 @@
 /// \file bench_micro_kernels.cpp
-/// \brief google-benchmark microbenchmarks of the numeric kernels that
-/// dominate the paper's complexity analysis (Section 5.3): the Sinkhorn
-/// sweep (O(M n^2)), the Hungarian LAP (O(n^3)), the GW tensor product
-/// (O(n^3)), conditional gradient, and the exact searchers.
-#include <benchmark/benchmark.h>
+/// \brief Microbenchmarks of the numeric kernels that dominate the
+/// paper's complexity analysis (Section 5.3): the Sinkhorn sweep
+/// (O(M n^2)), the Hungarian LAP (O(n^3)), the Jonker-Volgenant LAP,
+/// the GW tensor product (O(n^3)), conditional gradient, the exact
+/// searchers — and the branch-and-bound state machinery: the legacy
+/// copy-and-recompute SearchState walk vs the structure-of-arrays
+/// Push/Pop walk with the O(1) incremental heuristic, plus sequential
+/// vs parallel branch-and-bound wall time with an equality gate across
+/// pool sizes {1, 2, 8}.
+///
+/// A plain executable (no google-benchmark dependency): each kernel is
+/// timed until a minimum wall budget and reported as ns/op, and the run
+/// is persisted as `BENCH_kernels.json` (schema in
+/// tools/validate_bench_json.py) so the kernel-level perf trajectory
+/// accumulates in git history next to BENCH_search.json.
+///
+/// Flags: --smoke  shrink sizes/iterations for CI smoke runs
+///        --out P  write the record to P (default BENCH_kernels.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
 
 #include "assignment/hungarian.hpp"
 #include "assignment/lapjv.hpp"
 #include "core/random.hpp"
 #include "exact/astar.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/parallel_bnb.hpp"
+#include "exact/search_common.hpp"
 #include "graph/generator.hpp"
 #include "models/gedgw.hpp"
 #include "ot/gromov.hpp"
 #include "ot/sinkhorn.hpp"
+#include "telemetry/bench_report.hpp"
+
+using namespace otged;
 
 namespace {
 
-using namespace otged;
+/// Keeps a computed value alive without printing it (DCE barrier).
+template <class T>
+inline void Keep(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+struct KernelTiming {
+  std::string name;
+  double ns_per_op = 0.0;
+  long ops = 0;
+};
+
+/// Runs `body` repeatedly until `min_ms` of wall time (or an iteration
+/// cap) and reports the mean ns per call. One untimed warmup call keeps
+/// first-touch page faults and lazy allocations out of the figure.
+template <class F>
+KernelTiming TimeKernel(const std::string& name, F&& body, double min_ms) {
+  body();
+  const auto start = std::chrono::steady_clock::now();
+  long iters = 0;
+  double total_ns = 0.0;
+  do {
+    body();
+    ++iters;
+    total_ns = std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  } while (total_ns < min_ms * 1e6 && iters < 1'000'000);
+  KernelTiming t;
+  t.name = name;
+  t.ns_per_op = total_ns / static_cast<double>(iters);
+  t.ops = iters;
+  return t;
+}
 
 Matrix RandomCost(int r, int c, uint64_t seed) {
   Rng rng(seed);
@@ -25,92 +83,241 @@ Matrix RandomCost(int r, int c, uint64_t seed) {
   return m;
 }
 
-void BM_Sinkhorn(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix cost = RandomCost(n, n, 1);
-  Matrix mu = Matrix::ColVec(n, 1.0), nu = Matrix::ColVec(n, 1.0);
-  SinkhornOptions opt;
-  opt.max_iters = 20;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sinkhorn(cost, mu, nu, opt).cost);
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
   }
+  return out;
 }
-BENCHMARK(BM_Sinkhorn)->Arg(10)->Arg(50)->Arg(200);
-
-void BM_Hungarian(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix cost = RandomCost(n, n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveAssignment(cost).cost);
-  }
-}
-BENCHMARK(BM_Hungarian)->Arg(10)->Arg(50)->Arg(200);
-
-void BM_Lapjv(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix cost = RandomCost(n, n, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveAssignmentJV(cost).cost);
-  }
-}
-BENCHMARK(BM_Lapjv)->Arg(10)->Arg(50)->Arg(200);
-
-void BM_GwTensorProduct(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(4);
-  Graph g1 = PowerLawGraph(n, 2, &rng);
-  Graph g2 = PowerLawGraph(n, 2, &rng);
-  Matrix a1 = g1.AdjacencyMatrix(), a2 = g2.AdjacencyMatrix();
-  Matrix pi(n, n, 1.0 / n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GwTensorProduct(a1, a2, pi).Sum());
-  }
-}
-BENCHMARK(BM_GwTensorProduct)->Arg(10)->Arg(50)->Arg(200);
-
-void BM_GedgwSolve(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(5);
-  Graph g = PowerLawGraph(n, 2, &rng);
-  SyntheticEditOptions opt;
-  opt.num_edits = 5;
-  opt.num_labels = 1;
-  opt.allow_relabel = false;
-  GedPair pair = SyntheticEditPair(g, opt, &rng);
-  GedgwSolver solver;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.Predict(pair.g1, pair.g2).ged);
-  }
-}
-BENCHMARK(BM_GedgwSolve)->Arg(10)->Arg(30)->Arg(100);
-
-void BM_AstarExactSmall(benchmark::State& state) {
-  Rng rng(6);
-  Graph g = AidsLikeGraph(&rng, 6, 8);
-  SyntheticEditOptions opt;
-  opt.num_edits = 3;
-  opt.num_labels = 29;
-  GedPair pair = SyntheticEditPair(g, opt, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(AstarGed(pair.g1, pair.g2)->ged);
-  }
-}
-BENCHMARK(BM_AstarExactSmall);
-
-void BM_BeamSearch(benchmark::State& state) {
-  Rng rng(7);
-  Graph g = ImdbLikeGraph(&rng, 12, 16);
-  SyntheticEditOptions opt;
-  opt.num_edits = 5;
-  opt.num_labels = 1;
-  opt.allow_relabel = false;
-  GedPair pair = SyntheticEditPair(g, opt, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BeamGed(pair.g1, pair.g2, 16).ged);
-  }
-}
-BENCHMARK(BM_BeamSearch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc)
+      out_path = argv[++a];
+  }
+  const double min_ms = smoke ? 5.0 : 50.0;
+  std::vector<KernelTiming> timings;
+  const auto report = [&](const KernelTiming& t) {
+    timings.push_back(t);
+    std::printf("  %-28s %12.1f ns/op  (%ld ops)\n", t.name.c_str(),
+                t.ns_per_op, t.ops);
+  };
+
+  std::printf("== numeric kernels ==\n");
+  const std::vector<int> sizes = smoke ? std::vector<int>{10}
+                                       : std::vector<int>{10, 50, 200};
+  for (int n : sizes) {
+    Matrix cost = RandomCost(n, n, 1);
+    Matrix mu = Matrix::ColVec(n, 1.0), nu = Matrix::ColVec(n, 1.0);
+    SinkhornOptions sopt;
+    sopt.max_iters = 20;
+    report(TimeKernel(
+        "sinkhorn_n" + std::to_string(n),
+        [&] { Keep(Sinkhorn(cost, mu, nu, sopt).cost); }, min_ms));
+    Matrix hcost = RandomCost(n, n, 2);
+    report(TimeKernel("hungarian_n" + std::to_string(n),
+                      [&] { Keep(SolveAssignment(hcost).cost); }, min_ms));
+    Matrix jcost = RandomCost(n, n, 3);
+    report(TimeKernel("lapjv_n" + std::to_string(n),
+                      [&] { Keep(SolveAssignmentJV(jcost).cost); },
+                      min_ms));
+    Rng grng(4);
+    Graph pg1 = PowerLawGraph(n, 2, &grng), pg2 = PowerLawGraph(n, 2, &grng);
+    Matrix a1 = pg1.AdjacencyMatrix(), a2 = pg2.AdjacencyMatrix();
+    Matrix pi(n, n, 1.0 / n);
+    report(TimeKernel("gw_tensor_n" + std::to_string(n),
+                      [&] { Keep(GwTensorProduct(a1, a2, pi).Sum()); },
+                      min_ms));
+  }
+  {
+    const int n = smoke ? 10 : 30;
+    Rng rng(5);
+    Graph g = PowerLawGraph(n, 2, &rng);
+    SyntheticEditOptions eopt;
+    eopt.num_edits = 5;
+    eopt.num_labels = 1;
+    eopt.allow_relabel = false;
+    GedPair pair = SyntheticEditPair(g, eopt, &rng);
+    GedgwSolver solver;
+    report(TimeKernel("gedgw_solve_n" + std::to_string(n),
+                      [&] { Keep(solver.Predict(pair.g1, pair.g2).ged); },
+                      min_ms));
+  }
+
+  std::printf("== exact searchers ==\n");
+  {
+    Rng rng(6);
+    Graph g = AidsLikeGraph(&rng, 6, 8);
+    SyntheticEditOptions eopt;
+    eopt.num_edits = 3;
+    eopt.num_labels = 29;
+    GedPair pair = SyntheticEditPair(g, eopt, &rng);
+    report(TimeKernel("astar_exact_small",
+                      [&] { Keep(AstarGed(pair.g1, pair.g2)->ged); },
+                      min_ms));
+  }
+  {
+    Rng rng(7);
+    Graph g = ImdbLikeGraph(&rng, 12, 16);
+    SyntheticEditOptions eopt;
+    eopt.num_edits = 5;
+    eopt.num_labels = 1;
+    eopt.allow_relabel = false;
+    GedPair pair = SyntheticEditPair(g, eopt, &rng);
+    report(TimeKernel("beam_search_w16",
+                      [&] { Keep(BeamGed(pair.g1, pair.g2, 16).ged); },
+                      min_ms));
+  }
+
+  // One root-to-leaf walk, legacy vs SoA: Child copies the state and
+  // recomputes the O(n + m) heuristic at every depth; Push/Pop maintain
+  // everything incrementally with an O(1) heuristic read. The ratio is
+  // the per-node saving the branch-and-bound rewrite banks.
+  std::printf("== branch-and-bound state machinery ==\n");
+  {
+    Rng rng(8);
+    Graph a = AidsLikeGraph(&rng, 8, 10);
+    Graph b = AidsLikeGraph(&rng, 10, 12);
+    if (a.NumNodes() > b.NumNodes()) std::swap(a, b);
+    internal::Searcher searcher(a, b);
+    const int n1 = searcher.ctx().n1;
+    // Fixed cheapest-first path, chosen once so both walks are identical.
+    std::vector<int> path;
+    {
+      internal::DfsState d = searcher.MakeDfs();
+      for (int depth = 0; depth < n1; ++depth) {
+        int best_v = -1, best_delta = 0;
+        for (int v = 0; v < searcher.ctx().n2; ++v) {
+          if (d.used >> v & 1) continue;
+          const int delta = searcher.DeltaFast(d, v);
+          if (best_v < 0 || delta < best_delta) {
+            best_v = v;
+            best_delta = delta;
+          }
+        }
+        path.push_back(best_v);
+        searcher.Push(&d, best_v, best_delta);
+      }
+    }
+    report(TimeKernel(
+        "state_walk_legacy_child",
+        [&] {
+          internal::SearchState s = searcher.Root();
+          for (int v : path) s = searcher.Child(s, v);
+          Keep(s.f());
+        },
+        min_ms));
+    report(TimeKernel(
+        "state_walk_soa_push_pop",
+        [&] {
+          internal::DfsState d = searcher.MakeDfs();
+          int f = 0;
+          for (int v : path) {
+            searcher.Push(&d, v, searcher.DeltaFast(d, v));
+            f = d.g + searcher.HeuristicOf(d);
+          }
+          for (int depth = 0; depth < n1; ++depth) searcher.Pop(&d);
+          Keep(f);
+        },
+        min_ms));
+  }
+
+  // Sequential vs parallel branch and bound over a pool of hard pairs,
+  // with a determinism gate: the parallel result must be identical for
+  // pool sizes 1, 2 and 8, and its distance must match the sequential
+  // solver's on every completed pair.
+  std::printf("== branch and bound: sequential vs parallel ==\n");
+  const int bnb_pairs_n = smoke ? 3 : 6;
+  double seq_ms = 0.0, par_ms = 0.0;
+  bool equal = true;
+  {
+    Rng rng(9);
+    std::vector<GedPair> pairs;
+    for (int i = 0; i < bnb_pairs_n; ++i) {
+      Graph base = LinuxLikeGraph(&rng, smoke ? 7 : 8, smoke ? 9 : 10);
+      SyntheticEditOptions eopt;
+      eopt.num_edits = 2 + i % 3;
+      eopt.allow_relabel = false;
+      pairs.push_back(SyntheticEditPair(base, eopt, &rng));
+    }
+    WorkStealingPool pool1(1), pool2(2), pool8(8);
+    const auto time_ms = [](auto&& body) {
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    std::vector<GedSearchResult> seq(pairs.size());
+    seq_ms = time_ms([&] {
+      for (size_t i = 0; i < pairs.size(); ++i)
+        seq[i] = BranchAndBoundGed(pairs[i].g1, pairs[i].g2);
+    });
+    std::vector<GedSearchResult> par(pairs.size());
+    par_ms = time_ms([&] {
+      for (size_t i = 0; i < pairs.size(); ++i)
+        par[i] = ParallelBranchAndBoundGed(pairs[i].g1, pairs[i].g2,
+                                           &pool8);
+    });
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const GedSearchResult r1 =
+          ParallelBranchAndBoundGed(pairs[i].g1, pairs[i].g2, &pool1);
+      const GedSearchResult r2 =
+          ParallelBranchAndBoundGed(pairs[i].g1, pairs[i].g2, &pool2);
+      equal = equal && r1.ged == par[i].ged && r2.ged == par[i].ged &&
+              r1.matching == par[i].matching &&
+              r2.matching == par[i].matching &&
+              r1.exact == par[i].exact && r2.exact == par[i].exact &&
+              r1.expansions == par[i].expansions &&
+              r2.expansions == par[i].expansions;
+      equal = equal && (!par[i].exact || !seq[i].exact ||
+                        par[i].ged == seq[i].ged);
+    }
+    std::printf("  %d pairs: sequential %.2f ms | parallel(8) %.2f ms | "
+                "speedup %.2fx\n",
+                bnb_pairs_n, seq_ms, par_ms,
+                par_ms > 0.0 ? seq_ms / par_ms : 0.0);
+    std::printf("  determinism across pools {1, 2, 8} + sequential "
+                "agreement: [%s]\n",
+                equal ? "PASS" : "FAIL");
+  }
+
+  // ---------------------------------------------------------- the record
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAILED to open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_micro_kernels\",\n");
+  std::fprintf(f, "  \"git_rev\": \"%s\",\n",
+               JsonEscape(telemetry::GitRevision()).c_str());
+  std::fprintf(f, "  \"timestamp\": %lld,\n",
+               static_cast<long long>(std::time(nullptr)));
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < timings.size(); ++i)
+    std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"ops\": %ld}%s\n",
+                 JsonEscape(timings[i].name).c_str(), timings[i].ns_per_op,
+                 timings[i].ops, i + 1 < timings.size() ? "," : "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"bnb\": {\"pairs\": %d, \"seq_ms\": %.3f, "
+               "\"par_ms\": %.3f, \"speedup\": %.3f, \"equal\": %s, "
+               "\"pool_threads\": 8}\n",
+               bnb_pairs_n, seq_ms, par_ms,
+               par_ms > 0.0 ? seq_ms / par_ms : 0.0,
+               equal ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("kernel record written to %s\n", out_path.c_str());
+  return equal ? 0 : 1;
+}

@@ -17,13 +17,20 @@
 namespace otged {
 
 struct BnbOptions {
-  long max_visits = 5'000'000;  ///< node-visit budget
+  /// Node-expansion budget: internal search-tree nodes whose children are
+  /// generated, the same accounting AstarGed reports in `expansions`. A
+  /// search whose tree takes exactly this many expansions is complete
+  /// (`exact == true`); one more node needed means incomplete.
+  long max_visits = 5'000'000;
   int initial_upper_bound = -1; ///< -1 = derive one greedily
 };
 
 /// Exact GED by DFS branch and bound with the same admissible heuristic
 /// as AstarGed. Returns the best result found; `exact` is true iff the
 /// search space was exhausted within budget (result proven optimal).
+/// Runs on the do/undo structure-of-arrays scratch state, exploring the
+/// identical tree in the identical order as the historical copy-based
+/// driver — only cheaper per node.
 GedSearchResult BranchAndBoundGed(const Graph& g1, const Graph& g2,
                                   const BnbOptions& opt = {});
 

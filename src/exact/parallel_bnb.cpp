@@ -1,0 +1,290 @@
+#include "exact/parallel_bnb.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "exact/search_common.hpp"
+
+namespace otged {
+
+using internal::DfsState;
+using internal::Searcher;
+
+namespace {
+
+/// One root subtree: a mapping prefix, the do/undo state replayed to it,
+/// and an explicit resumable DFS stack so a worker can advance the
+/// subtree by a bounded expansion quota and suspend. All fields are
+/// owned by exactly one worker within a round (subtrees are distributed
+/// one per ParallelFor index), so none of them need synchronization.
+struct Subtree {
+  struct Frame {
+    std::vector<std::pair<int, int>> kids;  ///< (delta, v) ascending
+    size_t next = 0;                        ///< next child to consume
+  };
+
+  std::vector<int> prefix;   ///< G2 choices for order[0..depth_of_prefix)
+  DfsState state;            ///< positioned at the node owning stack.back()
+  std::vector<Frame> stack;  ///< frames root..current, empty before start
+  bool started = false;
+  bool done = false;
+  long expansions = 0;        ///< lifetime expansions in this subtree
+  long slice_expansions = 0;  ///< consumed in the current round
+  int local_best = std::numeric_limits<int>::max();  ///< best leaf total
+  bool local_found = false;
+  NodeMatching local_matching;
+};
+
+/// Publishes a leaf cost into the pending incumbent via CAS-min. Relaxed
+/// ordering suffices: the value is folded by the driver after the
+/// ParallelFor barrier, which already orders the accesses.
+// otged-lint: hot-path
+void PublishPending(std::atomic<int>* pending, int total) {
+  int cur = pending->load(std::memory_order_relaxed);
+  while (total < cur &&
+         !pending->compare_exchange_weak(cur, total,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+/// Advances one subtree by at most `quota` expansions. Every prune point
+/// reads the round-stable incumbent: the driver only writes it between
+/// rounds (the pool's barrier orders those writes), so the loads are
+/// race-free within a round and every subtree prunes against the same
+/// deterministic bound regardless of which thread runs it, or when —
+/// the PASGAL iteration-stable discipline.
+// otged-lint: hot-path
+void RunSlice(const Searcher& searcher, Subtree* t, long quota,
+              const std::atomic<int>& incumbent, std::atomic<int>* pending) {
+  const int n1 = searcher.ctx().n1, n2 = searcher.ctx().n2;
+  DfsState& s = t->state;
+  long used_quota = 0;
+  const auto bound = [&]() {
+    return std::min(incumbent.load(std::memory_order_relaxed),
+                    t->local_best);
+  };
+  const auto record_leaf = [&](int total) {
+    t->local_best = total;
+    t->local_found = true;
+    t->local_matching = searcher.ExtractMatching(s);
+    PublishPending(pending, total);
+  };
+  const auto expand_current = [&]() {
+    ++used_quota;
+    ++t->expansions;
+    t->stack.emplace_back();
+    Subtree::Frame& fr = t->stack.back();
+    fr.kids.reserve(static_cast<size_t>(n2 - s.depth));
+    for (int v = 0; v < n2; ++v) {
+      if (s.used >> v & 1) continue;
+      fr.kids.emplace_back(searcher.DeltaFast(s, v), v);
+    }
+    std::sort(fr.kids.begin(), fr.kids.end());
+  };
+
+  if (!t->started) {
+    t->started = true;
+    if (s.depth == n1) {
+      // Degenerate subtree: the prefix is already a complete mapping.
+      const int total = s.g + searcher.HeuristicOf(s);
+      if (total < bound()) record_leaf(total);
+      t->done = true;
+      t->slice_expansions = 0;
+      return;
+    }
+    expand_current();
+  }
+
+  while (!t->done && used_quota < quota) {
+    Subtree::Frame& fr = t->stack.back();
+    if (fr.next == fr.kids.size()) {
+      t->stack.pop_back();
+      if (t->stack.empty()) {
+        t->done = true;
+        break;
+      }
+      searcher.Pop(&s);
+      continue;
+    }
+    const auto [delta, v] = fr.kids[fr.next++];
+    const int b = bound();
+    if (s.g + delta >= b) continue;  // cheap pre-prune
+    searcher.Push(&s, v, delta);
+    const int f = s.g + searcher.HeuristicOf(s);
+    if (f >= b) {  // admissible prune
+      searcher.Pop(&s);
+      continue;
+    }
+    if (s.depth == n1) {
+      // f == total at leaves; f < b <= local_best, so always record.
+      record_leaf(f);
+      searcher.Pop(&s);
+      continue;
+    }
+    expand_current();
+  }
+  t->slice_expansions = used_quota;
+}
+
+}  // namespace
+
+GedSearchResult ParallelBranchAndBoundGed(const Graph& g1, const Graph& g2,
+                                          WorkStealingPool* pool,
+                                          const ParallelBnbOptions& opt,
+                                          ParallelBnbStats* stats) {
+  OTGED_CHECK(g1.NumNodes() <= g2.NumNodes());
+  Searcher searcher(g1, g2);
+  const int n1 = searcher.ctx().n1, n2 = searcher.ctx().n2;
+
+  // Initial upper bound: identity-order greedy matching (always
+  // feasible), tightened by the caller's hint — same seed as the
+  // sequential driver.
+  int ub = opt.initial_upper_bound;
+  NodeMatching greedy(static_cast<size_t>(n1));
+  for (int i = 0; i < n1; ++i) greedy[i] = i;
+  const int greedy_cost = EditCostFromMatching(g1, g2, greedy);
+  if (ub < 0 || greedy_cost < ub) ub = greedy_cost;
+  const int bound0 = ub + 1;  // strict-improvement bound, explores == ub
+
+  GedSearchResult res;
+  res.ged = greedy_cost;
+  res.matching = greedy;
+  res.exact = true;
+  res.expansions = 0;
+  if (n1 == 0) return res;  // single leaf, greedy == the empty mapping
+
+  long expansions = 0;
+
+  // ---- frontier: breadth-first expansion to a fixed target size ------
+  // Level-granular (a whole depth at a time) and pruned only against the
+  // seed bound, so the decomposition is a pure function of the input.
+  std::vector<std::vector<int>> frontier(1);
+  {
+    DfsState s = searcher.MakeDfs();
+    int depth = 0;
+    while (depth < n1 &&
+           static_cast<int>(frontier.size()) < opt.target_subtrees &&
+           !frontier.empty()) {
+      std::vector<std::vector<int>> next;
+      for (const std::vector<int>& prefix : frontier) {
+        for (int v : prefix) searcher.Push(&s, v, searcher.DeltaFast(s, v));
+        ++expansions;
+        std::vector<std::pair<int, int>> kids;
+        for (int v = 0; v < n2; ++v) {
+          if (s.used >> v & 1) continue;
+          kids.emplace_back(searcher.DeltaFast(s, v), v);
+        }
+        std::sort(kids.begin(), kids.end());
+        for (const auto& [delta, v] : kids) {
+          if (s.g + delta >= bound0) continue;
+          searcher.Push(&s, v, delta);
+          if (s.g + searcher.HeuristicOf(s) < bound0) {
+            std::vector<int> p = prefix;
+            p.push_back(v);
+            next.push_back(std::move(p));
+          }
+          searcher.Pop(&s);
+        }
+        for (size_t i = 0; i < prefix.size(); ++i) searcher.Pop(&s);
+      }
+      frontier = std::move(next);
+      ++depth;
+    }
+  }
+  if (frontier.empty()) {
+    // Every depth-`depth` extension exceeded the seed bound, so no
+    // completion beats ub: the greedy/hinted seed already is optimal.
+    res.expansions = expansions;
+    if (stats != nullptr) *stats = ParallelBnbStats{};
+    return res;
+  }
+
+  std::vector<Subtree> subs(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    subs[i].prefix = std::move(frontier[i]);
+    subs[i].state = searcher.MakeDfs();
+    for (int v : subs[i].prefix)
+      searcher.Push(&subs[i].state, v,
+                    searcher.DeltaFast(subs[i].state, v));
+  }
+
+  // ---- round loop -----------------------------------------------------
+  std::atomic<int> incumbent{bound0};  ///< round-stable prune bound
+  std::atomic<int> pending{bound0};    ///< CAS-min improvement inbox
+  std::vector<int> live(subs.size());
+  std::iota(live.begin(), live.end(), 0);
+  long remaining = opt.max_expansions - expansions;
+  long rounds = 0, incumbent_updates = 0;
+  bool complete = true;
+  while (!live.empty()) {
+    if (remaining <= 0) {
+      complete = false;
+      break;
+    }
+    // Deterministic per-round quota: share the remaining budget across
+    // the live subtrees, clamped to [1, round_quota].
+    const long quota = std::max(
+        long{1}, std::min(remaining / static_cast<long>(live.size()),
+                          opt.round_quota));
+    const auto slice = [&](int64_t i, int) {
+      RunSlice(searcher, &subs[static_cast<size_t>(live[i])], quota,
+               incumbent, &pending);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<int64_t>(live.size()), /*grain=*/1,
+                        slice);
+    } else {
+      for (size_t i = 0; i < live.size(); ++i)
+        slice(static_cast<int64_t>(i), 0);
+    }
+    ++rounds;
+    std::vector<int> next_live;
+    for (const int idx : live) {
+      Subtree& t = subs[static_cast<size_t>(idx)];
+      expansions += t.slice_expansions;
+      remaining -= t.slice_expansions;
+      t.slice_expansions = 0;
+      if (!t.done) next_live.push_back(idx);
+    }
+    live = std::move(next_live);
+    // Fold pending improvements into the stable incumbent. The pending
+    // value at a barrier is the min over everything published this
+    // round — commutative, hence deterministic.
+    const int p = pending.load(std::memory_order_relaxed);
+    if (p < incumbent.load(std::memory_order_relaxed)) {
+      incumbent.store(p, std::memory_order_relaxed);
+      ++incumbent_updates;
+    }
+  }
+
+  // ---- deterministic merge: argmin by (ged, lexicographic matching) --
+  int best = std::numeric_limits<int>::max();
+  const NodeMatching* best_matching = nullptr;
+  for (const Subtree& t : subs) {
+    if (!t.local_found) continue;
+    if (best_matching == nullptr || t.local_best < best ||
+        (t.local_best == best && t.local_matching < *best_matching)) {
+      best = t.local_best;
+      best_matching = &t.local_matching;
+    }
+  }
+  if (best_matching != nullptr) {
+    res.ged = best;  // best < bound0, i.e. <= ub: strictly proven better
+    res.matching = *best_matching;
+  }
+  res.exact = complete;
+  res.expansions = expansions;
+  if (stats != nullptr) {
+    stats->subtrees = static_cast<long>(subs.size());
+    stats->rounds = rounds;
+    stats->incumbent_updates = incumbent_updates;
+  }
+  return res;
+}
+
+}  // namespace otged

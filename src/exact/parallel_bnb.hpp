@@ -1,0 +1,75 @@
+/// \file parallel_bnb.hpp
+/// \brief Deterministic parallel branch-and-bound exact GED: a frontier
+/// of root subtrees distributed over a WorkStealingPool, each worker
+/// running the sequential do/undo DFS on its subtree, with a shared
+/// atomic incumbent bound.
+///
+/// Determinism contract: for a fixed (g1, g2, options) input the result
+/// — ged, matching, exact flag, and even the expansion count — is
+/// byte-identical for ANY pool thread count, including 1. The design
+/// follows PASGAL's iteration-stable discipline:
+///
+///   * The search runs in rounds. Within a round every live subtree
+///     advances by a deterministic expansion quota, pruning against a
+///     *round-stable* incumbent (an atomic the driver wrote before the
+///     round; workers only read it, so the reads are race-free and every
+///     subtree sees the same bound no matter which thread runs it or
+///     when).
+///   * Improvements found during a round are published into a separate
+///     `pending` atomic via CAS-min. Min-folding is commutative, so the
+///     value at the round barrier is the minimum over all improvements —
+///     independent of interleaving. The driver folds pending into the
+///     stable incumbent between rounds.
+///   * The frontier is built by breadth-first expansion to a fixed
+///     target size that does NOT depend on the thread count, and
+///     per-round quotas are computed from deterministic quantities
+///     (remaining budget, live-subtree count).
+///   * Pruning uses only admissible bounds (the incumbent is always the
+///     cost of a feasible matching, hence >= the optimum), so no optimal
+///     leaf is ever lost; the final result is a deterministic argmin
+///     over the subtree-local bests by (ged, lexicographic matching).
+#ifndef OTGED_EXACT_PARALLEL_BNB_HPP_
+#define OTGED_EXACT_PARALLEL_BNB_HPP_
+
+#include "exact/astar.hpp"
+#include "search/work_stealing_pool.hpp"
+
+namespace otged {
+
+struct ParallelBnbOptions {
+  /// Global node-expansion budget across all subtrees (plus the frontier
+  /// build), same accounting as BnbOptions::max_visits.
+  long max_expansions = 20'000'000;
+  int initial_upper_bound = -1;  ///< -1 = derive one greedily
+  /// Frontier target: breadth-first levels are expanded until at least
+  /// this many root subtrees exist (or the tree is exhausted). A fixed
+  /// constant — never derived from the thread count — so the subtree
+  /// decomposition is part of the deterministic input.
+  int target_subtrees = 32;
+  /// Upper bound on expansions one subtree may consume per round. Small
+  /// values fold incumbent improvements in sooner (better pruning);
+  /// large values amortize the round barrier.
+  long round_quota = 4096;
+};
+
+/// Deterministic observability of one parallel run (all fields are pure
+/// functions of the input, like the result itself).
+struct ParallelBnbStats {
+  long subtrees = 0;          ///< frontier size distributed over the pool
+  long rounds = 0;            ///< round barriers executed
+  long incumbent_updates = 0; ///< stable-incumbent improvements folded
+};
+
+/// Parallel exact GED over `pool` (nullptr or 1-thread pools degrade to
+/// an inline run of the same round structure). Requires n1 <= n2 and
+/// n2 <= 64 like every exact search here. The pool must not be inside
+/// one of its own ParallelFor calls (it is non-reentrant); concurrent
+/// callers must serialize externally.
+GedSearchResult ParallelBranchAndBoundGed(const Graph& g1, const Graph& g2,
+                                          WorkStealingPool* pool,
+                                          const ParallelBnbOptions& opt = {},
+                                          ParallelBnbStats* stats = nullptr);
+
+}  // namespace otged
+
+#endif  // OTGED_EXACT_PARALLEL_BNB_HPP_

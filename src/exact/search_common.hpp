@@ -2,12 +2,28 @@
 /// \brief Internal shared machinery for the exact GED searches (A*, beam,
 /// branch-and-bound): incremental cost accounting over partial node
 /// mappings plus the admissible label-multiset / edge-count heuristic.
+///
+/// Two state representations share one Searcher:
+///
+///   SearchState  immutable value states for the best-first searches
+///                (A*, beam), which must hold many frontier states alive
+///                at once; Child copies and recomputes the heuristic.
+///   DfsState     one mutable do/undo state in structure-of-arrays
+///                layout (flat map1to2/map2to1, incremental label
+///                remainders and edge counters) for the depth-first
+///                branch-and-bound drivers: Push/Pop are O(deg) via
+///                bit-parallel neighbor masks and the heuristic is O(1),
+///                against the O(n + m) recompute SearchState pays per
+///                Child.
+///
 /// Not part of the public API.
 #ifndef OTGED_EXACT_SEARCH_COMMON_HPP_
 #define OTGED_EXACT_SEARCH_COMMON_HPP_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <vector>
 
@@ -16,18 +32,22 @@
 
 namespace otged::internal {
 
-/// Static context: node mapping order and compacted labels.
+/// Static context: node mapping order, compacted labels, and bitset
+/// adjacency (n <= 64, checked) for the do/undo fast path.
 struct SearchContext {
   const Graph& g1;
   const Graph& g2;
   int n1, n2, num_labels;
   std::vector<int> order;               // depth -> G1 node
   std::vector<int> g1_label, g2_label;  // compacted label ids
+  std::vector<uint64_t> adj1_mask, adj2_mask;  // per-node neighbor bitsets
+  std::vector<uint64_t> order_prefix;  // [d] = G1 nodes mapped at depth d
 
   SearchContext(const Graph& a, const Graph& b) : g1(a), g2(b) {
     n1 = g1.NumNodes();
     n2 = g2.NumNodes();
     OTGED_CHECK(n1 <= n2);
+    OTGED_CHECK_MSG(n2 <= 64, "exact search supports up to 64 nodes");
     std::map<Label, int> remap;
     auto compact = [&](const Graph& g, std::vector<int>* out) {
       out->resize(g.NumNodes());
@@ -47,14 +67,25 @@ struct SearchContext {
       if (g1.Degree(x) != g1.Degree(y)) return g1.Degree(x) > g1.Degree(y);
       return x < y;
     });
+    adj1_mask.assign(static_cast<size_t>(n1), 0);
+    for (int u = 0; u < n1; ++u)
+      for (int w : g1.Neighbors(u)) adj1_mask[u] |= 1ull << w;
+    adj2_mask.assign(static_cast<size_t>(n2), 0);
+    for (int v = 0; v < n2; ++v)
+      for (int x : g2.Neighbors(v)) adj2_mask[v] |= 1ull << x;
+    order_prefix.assign(static_cast<size_t>(n1) + 1, 0);
+    for (int d = 0; d < n1; ++d)
+      order_prefix[d + 1] = order_prefix[d] | (1ull << order[d]);
   }
 };
 
 /// Search state over partial mappings. `used` is a bitmask over G2 nodes,
 /// which limits exact search to n2 <= 64 (ample: exact GED beyond ~16
-/// nodes is intractable anyway).
+/// nodes is intractable anyway). `map2to1` mirrors `map1to2` so the cost
+/// delta never scans for a preimage.
 struct SearchState {
   std::vector<int> map1to2;
+  std::vector<int> map2to1;
   uint64_t used = 0;
   int depth = 0;
   int g = 0;
@@ -62,13 +93,32 @@ struct SearchState {
   int f() const { return g + h; }
 };
 
+/// Mutable depth-first state in structure-of-arrays layout. One DfsState
+/// serves a whole DFS: the branch-and-bound drivers Push/Pop along the
+/// current path instead of copying states, and every quantity the
+/// admissible heuristic needs (label remainders, remaining-edge counts)
+/// is maintained incrementally. `path_v`/`path_delta` are the undo log.
+struct DfsState {
+  std::vector<int> map1to2;     ///< G1 node -> G2 node, -1 unmapped
+  std::vector<int> map2to1;     ///< G2 node -> G1 node, -1 unmapped
+  std::vector<int> c1_rem;      ///< per-label count of unmapped G1 nodes
+  std::vector<int> c2_rem;      ///< per-label count of unmapped G2 nodes
+  std::vector<int> path_v;      ///< depth -> chosen G2 node
+  std::vector<int> path_delta;  ///< depth -> cost charged at that depth
+  uint64_t used = 0;            ///< bitmask of mapped G2 nodes
+  int depth = 0;
+  int g = 0;        ///< cost of the partial mapping
+  int surplus = 0;  ///< sum_l max(0, c1_rem[l] - c2_rem[l])
+  int m1_rem = 0;   ///< G1 edges with at least one unmapped endpoint
+  int m2_rem = 0;   ///< G2 edges with at least one unmapped endpoint
+};
+
 /// Incremental cost/heuristic evaluator shared by the searches.
 class Searcher {
  public:
   Searcher(const Graph& g1, const Graph& g2) : ctx_(g1, g2) {
-    OTGED_CHECK_MSG(ctx_.n2 <= 64, "exact search supports up to 64 nodes");
-    c1_rem_.assign(ctx_.num_labels, 0);
-    c2_rem_.assign(ctx_.num_labels, 0);
+    c1_rem_.assign(static_cast<size_t>(ctx_.num_labels), 0);
+    c2_rem_.assign(static_cast<size_t>(ctx_.num_labels), 0);
     for (int u = 0; u < ctx_.n1; ++u) c1_rem_[ctx_.g1_label[u]]++;
     for (int v = 0; v < ctx_.n2; ++v) c2_rem_[ctx_.g2_label[v]]++;
   }
@@ -77,7 +127,8 @@ class Searcher {
 
   SearchState Root() const {
     SearchState s;
-    s.map1to2.assign(ctx_.n1, -1);
+    s.map1to2.assign(static_cast<size_t>(ctx_.n1), -1);
+    s.map2to1.assign(static_cast<size_t>(ctx_.n2), -1);
     s.h = Heuristic(s);
     return s;
   }
@@ -97,13 +148,7 @@ class Searcher {
     }
     for (int x : ctx_.g2.Neighbors(v)) {
       if (!(s.used >> x & 1)) continue;
-      int pre = -1;
-      for (int w = 0; w < ctx_.n1; ++w) {
-        if (s.map1to2[w] == x) {
-          pre = w;
-          break;
-        }
-      }
+      int pre = s.map2to1[x];
       OTGED_DCHECK(pre >= 0);
       if (!ctx_.g1.HasEdge(u, pre)) ++c;
     }
@@ -115,6 +160,7 @@ class Searcher {
     int u = ctx_.order[s.depth];
     t.g += Delta(s, v);
     t.map1to2[u] = v;
+    t.map2to1[v] = u;
     t.used |= (1ull << v);
     t.depth += 1;
     t.h = Heuristic(t);
@@ -162,7 +208,114 @@ class Searcher {
   }
 
   NodeMatching ExtractMatching(const SearchState& s) const {
-    NodeMatching m(ctx_.n1);
+    NodeMatching m(static_cast<size_t>(ctx_.n1));
+    for (int u = 0; u < ctx_.n1; ++u) {
+      OTGED_CHECK(s.map1to2[u] >= 0);
+      m[u] = s.map1to2[u];
+    }
+    return m;
+  }
+
+  // ---- structure-of-arrays do/undo fast path ---------------------------
+
+  /// Root DfsState: nothing mapped, counters over the whole graphs.
+  DfsState MakeDfs() const {
+    DfsState s;
+    s.map1to2.assign(static_cast<size_t>(ctx_.n1), -1);
+    s.map2to1.assign(static_cast<size_t>(ctx_.n2), -1);
+    s.c1_rem = c1_rem_;
+    s.c2_rem = c2_rem_;
+    s.path_v.assign(static_cast<size_t>(ctx_.n1), -1);
+    s.path_delta.assign(static_cast<size_t>(ctx_.n1), 0);
+    s.m1_rem = ctx_.g1.NumEdges();
+    s.m2_rem = ctx_.g2.NumEdges();
+    for (int l = 0; l < ctx_.num_labels; ++l)
+      s.surplus += std::max(0, s.c1_rem[l] - s.c2_rem[l]);
+    return s;
+  }
+
+  /// Same value as Delta, from the SoA state via bit-parallel neighbor
+  /// intersection (mapped G1 nodes are exactly the order prefix).
+  // otged-lint: hot-path
+  int DeltaFast(const DfsState& s, int v) const {
+    const int u = ctx_.order[s.depth];
+    int c = ctx_.g1_label[u] != ctx_.g2_label[v] ? 1 : 0;
+    for (uint64_t m = ctx_.adj1_mask[u] & ctx_.order_prefix[s.depth];
+         m != 0; m &= m - 1) {
+      const int w = std::countr_zero(m);
+      const int mv = s.map1to2[w];
+      OTGED_DCHECK(mv >= 0);
+      if (!(ctx_.adj2_mask[mv] >> v & 1)) {
+        ++c;  // deletion
+      } else if (ctx_.g1.edge_label(u, w) != ctx_.g2.edge_label(v, mv)) {
+        ++c;  // edge relabel (Appendix H.1)
+      }
+    }
+    for (uint64_t m = ctx_.adj2_mask[v] & s.used; m != 0; m &= m - 1) {
+      const int x = std::countr_zero(m);
+      const int pre = s.map2to1[x];
+      OTGED_DCHECK(pre >= 0);
+      if (!(ctx_.adj1_mask[u] >> pre & 1)) ++c;  // insertion
+    }
+    return c;
+  }
+
+  /// Maps order[depth] -> v, charging `delta` (from DeltaFast) and
+  /// updating every incremental counter in O(deg). The surplus update
+  /// applies the two label decrements in sequence: removing an unmapped
+  /// G1 node of label a lowers the surplus iff a was oversubscribed, and
+  /// removing an unmapped G2 node of label b raises it iff b was not.
+  // otged-lint: hot-path
+  void Push(DfsState* s, int v, int delta) const {
+    const int u = ctx_.order[s->depth];
+    const int a = ctx_.g1_label[u], b = ctx_.g2_label[v];
+    if (s->c1_rem[a] > s->c2_rem[a]) --s->surplus;
+    --s->c1_rem[a];
+    if (s->c1_rem[b] >= s->c2_rem[b]) ++s->surplus;
+    --s->c2_rem[b];
+    s->m1_rem -=
+        std::popcount(ctx_.adj1_mask[u] & ctx_.order_prefix[s->depth]);
+    s->m2_rem -= std::popcount(ctx_.adj2_mask[v] & s->used);
+    s->map1to2[u] = v;
+    s->map2to1[v] = u;
+    s->used |= 1ull << v;
+    s->path_v[s->depth] = v;
+    s->path_delta[s->depth] = delta;
+    s->g += delta;
+    ++s->depth;
+  }
+
+  /// Exact inverse of Push (undo log), in reverse update order.
+  // otged-lint: hot-path
+  void Pop(DfsState* s) const {
+    --s->depth;
+    const int u = ctx_.order[s->depth];
+    const int v = s->path_v[s->depth];
+    s->g -= s->path_delta[s->depth];
+    s->used &= ~(1ull << v);
+    s->map1to2[u] = -1;
+    s->map2to1[v] = -1;
+    s->m1_rem +=
+        std::popcount(ctx_.adj1_mask[u] & ctx_.order_prefix[s->depth]);
+    s->m2_rem += std::popcount(ctx_.adj2_mask[v] & s->used);
+    const int a = ctx_.g1_label[u], b = ctx_.g2_label[v];
+    ++s->c2_rem[b];
+    if (s->c1_rem[b] >= s->c2_rem[b]) --s->surplus;
+    ++s->c1_rem[a];
+    if (s->c1_rem[a] > s->c2_rem[a]) ++s->surplus;
+  }
+
+  /// O(1) admissible heuristic over the SoA state; equals
+  /// Heuristic(SearchState) on equivalent states (asserted in tests). At
+  /// depth == n1 it equals CompletionCost exactly (surplus and m1_rem
+  /// are zero there), so leaves need no separate completion pass.
+  // otged-lint: hot-path
+  int HeuristicOf(const DfsState& s) const {
+    return s.surplus + (ctx_.n2 - ctx_.n1) + std::abs(s.m1_rem - s.m2_rem);
+  }
+
+  NodeMatching ExtractMatching(const DfsState& s) const {
+    NodeMatching m(static_cast<size_t>(ctx_.n1));
     for (int u = 0; u < ctx_.n1; ++u) {
       OTGED_CHECK(s.map1to2[u] >= 0);
       m[u] = s.map1to2[u];

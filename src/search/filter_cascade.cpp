@@ -5,6 +5,7 @@
 
 #include "assignment/kbest.hpp"
 #include "exact/branch_and_bound.hpp"
+#include "exact/parallel_bnb.hpp"
 #include "heuristics/bipartite.hpp"
 #include "heuristics/lower_bounds.hpp"
 #include "models/gedgw.hpp"
@@ -25,6 +26,11 @@ void CascadeStats::Merge(const CascadeStats& o) {
   exact_calls += o.exact_calls;
   exact_incomplete += o.exact_incomplete;
   cache_hits += o.cache_hits;
+  exact_parallel_runs += o.exact_parallel_runs;
+  exact_parallel_expansions += o.exact_parallel_expansions;
+  exact_parallel_subtrees += o.exact_parallel_subtrees;
+  exact_parallel_rounds += o.exact_parallel_rounds;
+  exact_parallel_incumbent_updates += o.exact_parallel_incumbent_updates;
 }
 
 double CascadeStats::PrunedBeforeSolvers() const {
@@ -34,7 +40,11 @@ double CascadeStats::PrunedBeforeSolvers() const {
          static_cast<double>(candidates);
 }
 
-FilterCascade::FilterCascade(const CascadeOptions& opt) : opt_(opt) {}
+FilterCascade::FilterCascade(const CascadeOptions& opt) : opt_(opt) {
+  if (opt_.parallel_exact_threads > 1)
+    exact_pool_ =
+        std::make_unique<WorkStealingPool>(opt_.parallel_exact_threads);
+}
 
 #if OTGED_TELEMETRY_COMPILED
 namespace {
@@ -51,6 +61,11 @@ struct CascadeMetrics {
   telemetry::Counter* ot_calls;
   telemetry::Counter* exact_calls;
   telemetry::Counter* exact_incomplete;
+  telemetry::Counter* parallel_runs;
+  telemetry::Counter* parallel_expansions;
+  telemetry::Counter* parallel_subtrees;
+  telemetry::Counter* parallel_rounds;
+  telemetry::Counter* parallel_incumbent_updates;
   telemetry::Histogram* tier_latency[5];
 };
 
@@ -88,6 +103,21 @@ const CascadeMetrics& Metrics() {
     mm->exact_incomplete =
         &reg.GetCounter("otged_cascade_exact_incomplete_total",
                         "exact runs that exhausted their visit budget");
+    mm->parallel_runs =
+        &reg.GetCounter("otged_exact_parallel_runs_total",
+                        "parallel branch-and-bound invocations");
+    mm->parallel_expansions =
+        &reg.GetCounter("otged_exact_parallel_expansions_total",
+                        "search-tree nodes expanded by parallel runs");
+    mm->parallel_subtrees =
+        &reg.GetCounter("otged_exact_parallel_subtrees_total",
+                        "root subtrees distributed over the exact pool");
+    mm->parallel_rounds =
+        &reg.GetCounter("otged_exact_parallel_rounds_total",
+                        "round barriers executed by parallel runs");
+    mm->parallel_incumbent_updates = &reg.GetCounter(
+        "otged_exact_parallel_incumbent_updates_total",
+        "stable-incumbent improvements folded at round barriers");
     for (int t = 0; t < 5; ++t)
       mm->tier_latency[t] = &reg.GetHistogram(
           std::string("otged_cascade_tier_latency_us{tier=\"") + kTier[t] +
@@ -279,10 +309,7 @@ CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
     Metrics().exact_calls->Inc();
   }
 #endif
-  BnbOptions bnb;
-  bnb.max_visits = opt_.exact_budget;
-  bnb.initial_upper_bound = ub;
-  GedSearchResult exact = BranchAndBoundGed(*g1, *g2, bnb);
+  GedSearchResult exact = ExactSearch(*g1, *g2, opt_.exact_budget, ub, stats);
   exact_expansions = exact.expansions;
   if (!exact.exact) {
     stats->exact_incomplete++;
@@ -305,6 +332,47 @@ CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
   best_ub = exact.ged;
   mark(CascadeTier::kExact);
   return finish(v);
+}
+
+GedSearchResult FilterCascade::ExactSearch(const Graph& g1, const Graph& g2,
+                                           long budget,
+                                           int initial_upper_bound,
+                                           CascadeStats* stats) const {
+  OTGED_DCHECK(stats != nullptr);
+  if (exact_pool_ == nullptr) {
+    BnbOptions bnb;
+    bnb.max_visits = budget;
+    bnb.initial_upper_bound = initial_upper_bound;
+    return BranchAndBoundGed(g1, g2, bnb);
+  }
+  ParallelBnbOptions par;
+  par.max_expansions = budget;
+  par.initial_upper_bound = initial_upper_bound;
+  ParallelBnbStats ps;
+  GedSearchResult res;
+  {
+    // The private pool is non-reentrant, so concurrent hard pairs take
+    // turns — each still fans its own search tree over every exact
+    // thread, which is the point: one hard pair no longer pins a core.
+    MutexLock exact_lock(exact_mu_);
+    res = ParallelBranchAndBoundGed(g1, g2, exact_pool_.get(), par, &ps);
+  }
+  stats->exact_parallel_runs++;
+  stats->exact_parallel_expansions += res.expansions;
+  stats->exact_parallel_subtrees += ps.subtrees;
+  stats->exact_parallel_rounds += ps.rounds;
+  stats->exact_parallel_incumbent_updates += ps.incumbent_updates;
+#if OTGED_TELEMETRY_COMPILED
+  if (telemetry::Enabled()) {
+    const CascadeMetrics& m = Metrics();
+    m.parallel_runs->Inc();
+    m.parallel_expansions->Inc(res.expansions);
+    m.parallel_subtrees->Inc(ps.subtrees);
+    m.parallel_rounds->Inc(ps.rounds);
+    m.parallel_incumbent_updates->Inc(ps.incumbent_updates);
+  }
+#endif
+  return res;
 }
 
 }  // namespace otged

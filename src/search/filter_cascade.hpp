@@ -23,9 +23,12 @@
 #ifndef OTGED_SEARCH_FILTER_CASCADE_HPP_
 #define OTGED_SEARCH_FILTER_CASCADE_HPP_
 
+#include <memory>
 #include <optional>
 
+#include "exact/astar.hpp"
 #include "search/graph_store.hpp"
+#include "search/work_stealing_pool.hpp"
 
 namespace otged {
 
@@ -34,7 +37,15 @@ struct CascadeOptions {
   bool use_ot_verify = true;     ///< enable the tier-3 GEDGW refinement
   int kbest_k = 8;               ///< path-search width for the OT tier
   int gw_iters = 20;             ///< conditional-gradient iterations
-  long exact_budget = 20'000'000;  ///< tier-4 branch-and-bound visit budget
+  /// Tier-4 branch-and-bound node-expansion budget.
+  long exact_budget = 20'000'000;
+  /// > 1: run the tier-4 verifier (and top-k seed refinement) as the
+  /// deterministic parallel branch-and-bound on a private pool of this
+  /// many threads, so one hard pair no longer serializes on a single
+  /// core. The parallel solver's output is byte-identical for any value
+  /// here (see parallel_bnb.hpp); concurrent hard pairs serialize on the
+  /// private pool. 0 or 1 = sequential solver (the default).
+  int parallel_exact_threads = 0;
 };
 
 /// Where a candidate's fate was decided (statistics only). kCache is not
@@ -65,6 +76,15 @@ struct CascadeStats {
   long exact_calls = 0;       ///< branch-and-bound invocations
   long exact_incomplete = 0;  ///< exact runs that exhausted their budget
   long cache_hits = 0;        ///< pairs answered from the bound cache
+  // Parallel-exact observability (zero when parallel_exact_threads <= 1).
+  // Every field is deterministic — a pure function of the evaluated
+  // pairs — and reconciles exactly with the otged_exact_parallel_*
+  // telemetry counters.
+  long exact_parallel_runs = 0;        ///< parallel B&B invocations
+  long exact_parallel_expansions = 0;  ///< nodes expanded by those runs
+  long exact_parallel_subtrees = 0;    ///< root subtrees distributed
+  long exact_parallel_rounds = 0;      ///< round barriers executed
+  long exact_parallel_incumbent_updates = 0;  ///< incumbent folds
 
   void Merge(const CascadeStats& o);
   /// Fraction of candidates dismissed before any OT or exact solver ran.
@@ -102,7 +122,10 @@ struct CascadeVerdict {
 /// Stateless (after construction) decision procedure over graph pairs;
 /// safe to share across threads. The cascade is corpus-agnostic: callers
 /// (the QueryEngine) hand it the stored graph and its precomputed
-/// invariants from whichever StoreSnapshot they pinned.
+/// invariants from whichever StoreSnapshot they pinned. With
+/// `parallel_exact_threads > 1` it owns a private exact-verify pool
+/// (concurrent hard pairs serialize on it; every other tier stays fully
+/// concurrent) — the cascade is then move-only, never copied.
 class FilterCascade {
  public:
   explicit FilterCascade(const CascadeOptions& opt = {});
@@ -121,8 +144,24 @@ class FilterCascade {
 
   const CascadeOptions& options() const { return opt_; }
 
+  /// Tier-4 exact-search entry point, shared by BoundedDistance and the
+  /// QueryEngine's top-k seed refinement: dispatches to the
+  /// deterministic parallel branch-and-bound when parallel_exact_threads
+  /// > 1 and to the sequential solver otherwise. Both prove the same
+  /// distance when complete; the parallel path additionally accumulates
+  /// its deterministic run counters into `stats` and mirrors them into
+  /// the global otged_exact_parallel_* telemetry.
+  GedSearchResult ExactSearch(const Graph& g1, const Graph& g2, long budget,
+                              int initial_upper_bound,
+                              CascadeStats* stats) const
+      EXCLUDES(exact_mu_);
+
  private:
   CascadeOptions opt_;
+  /// Private pool for the parallel exact verifier (engine pools are busy
+  /// with the candidate loop and non-reentrant). Null when sequential.
+  std::unique_ptr<WorkStealingPool> exact_pool_;
+  mutable Mutex exact_mu_;  ///< one parallel exact run at a time
 };
 
 }  // namespace otged

@@ -10,7 +10,6 @@
 #include <unordered_map>
 #include <utility>
 
-#include "exact/branch_and_bound.hpp"
 #include "graph/graph_io.hpp"
 #include "heuristics/bipartite.hpp"
 #include "telemetry/metrics.hpp"
@@ -394,6 +393,8 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
   // cap. Together they collapse the phase-C range by orders of magnitude
   // on clustered corpora.
   std::vector<int> seed_ub(static_cast<size_t>(nu) * kp);
+  std::vector<std::vector<CascadeStats>> worker_stats(
+      pool_->num_threads(), std::vector<CascadeStats>(nu));
   pool_->ParallelFor(
       static_cast<int64_t>(nu) * kp, /*grain=*/1,
       [&](int64_t t, int worker) {
@@ -410,10 +411,13 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
         auto [g1, g2] = OrderBySize(*queries[uniq[u]], snap->graph(slot));
         int ub = ClassicGed(*g1, *g2).ged;
         if (topk_refine_budget_ > 0) {
-          BnbOptions ref;
-          ref.initial_upper_bound = ub;
-          ref.max_visits = topk_refine_budget_;
-          GedSearchResult r = BranchAndBoundGed(*g1, *g2, ref);
+          // Routed through the cascade's exact dispatch so the refinement
+          // shares the parallel verifier (and its run counters land in
+          // this query's stats; refinement is not an exact_calls tier-4
+          // decision, so only the parallel-run fields move).
+          GedSearchResult r =
+              cascade_.ExactSearch(*g1, *g2, topk_refine_budget_, ub,
+                                   &worker_stats[worker][u]);
           ub = r.ged;
           if (use_cache_ && r.exact)
             cache_.Insert(ctx[u].fp, snap->id(slot), r.ged);
@@ -459,8 +463,6 @@ std::vector<TopKResult> QueryEngine::TopKBatchLocked(
     }
   }
   std::vector<CascadeVerdict> verdicts(tasks.size());
-  std::vector<std::vector<CascadeStats>> worker_stats(
-      pool_->num_threads(), std::vector<CascadeStats>(nu));
   pool_->ParallelFor(static_cast<int64_t>(tasks.size()), /*grain=*/2,
                      [&](int64_t t, int worker) {
                        const auto [u, slot] = tasks[t];

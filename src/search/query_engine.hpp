@@ -66,9 +66,11 @@ struct EngineOptions {
   /// Top-k verifies every graph whose lower bound is under the cap set
   /// by the k seeds' upper bounds, so a loose greedy bound on one seed
   /// drags in a large slice of the corpus. Each seed pair therefore
-  /// gets a budgeted branch-and-bound refinement (node-visit budget
-  /// below; 0 disables) before the cap is taken — the incumbent it
-  /// returns is a feasible edit path, so the cap stays admissible and
+  /// gets a budgeted branch-and-bound refinement (node-expansion budget
+  /// below; 0 disables; runs the cascade's parallel exact verifier
+  /// when `cascade.parallel_exact_threads` > 1) before the cap is
+  /// taken — the incumbent it returns is a feasible edit path, so the
+  /// cap stays admissible and
   /// results are byte-identical, only cheaper. k seeds per query pay
   /// this; the collapsed verification set repays it at any real corpus
   /// size.

@@ -137,6 +137,39 @@ TEST(BnbTest, UpperBoundHintSpeedsSearch) {
   EXPECT_LE(hinted.expansions, base.expansions);
 }
 
+TEST(BnbTest, BudgetBoundaryIsInclusive) {
+  // The budget counts node expansions the same way AstarGed does, and it
+  // is inclusive: a search whose tree takes exactly `max_visits`
+  // expansions completes with exact == true. (The old driver burned one
+  // budget unit per *visit* including the root, so a budget equal to the
+  // tree size came up one short.)
+  Rng rng(11);
+  int boundary_cases = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g1 = AidsLikeGraph(&rng, 4, 7);
+    Graph g2 = AidsLikeGraph(&rng, 7, 9);
+    if (g1.NumNodes() > g2.NumNodes()) std::swap(g1, g2);
+    GedSearchResult full = BranchAndBoundGed(g1, g2);
+    ASSERT_TRUE(full.exact);
+    if (full.expansions < 2) continue;  // need room below the boundary
+    ++boundary_cases;
+    BnbOptions opt;
+    opt.max_visits = full.expansions;  // tree is exactly this large
+    GedSearchResult at = BranchAndBoundGed(g1, g2, opt);
+    EXPECT_TRUE(at.exact) << "trial " << trial;
+    EXPECT_EQ(at.ged, full.ged) << "trial " << trial;
+    EXPECT_EQ(at.expansions, full.expansions) << "trial " << trial;
+    opt.max_visits = full.expansions - 1;
+    GedSearchResult under = BranchAndBoundGed(g1, g2, opt);
+    EXPECT_FALSE(under.exact) << "trial " << trial;
+    EXPECT_EQ(under.expansions, full.expansions - 1) << "trial " << trial;
+    // Even a truncated search returns a feasible witness.
+    EXPECT_EQ(EditCostFromMatching(g1, g2, under.matching), under.ged)
+        << "trial " << trial;
+  }
+  EXPECT_GT(boundary_cases, 0);
+}
+
 TEST(ExactPropertyTest, GedIsSymmetricUnderPairSwap) {
   // GED(g1, g2) == GED(g2, g1); our API requires n1 <= n2 so we compare
   // same-size pairs directly.

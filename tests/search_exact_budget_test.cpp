@@ -1,0 +1,225 @@
+/// \file search_exact_budget_test.cpp
+/// \brief Exact-tier budget exhaustion semantics: a starved tier-4 budget
+/// must keep candidates conservatively (no false dismissals, ever), must
+/// never claim an unproven distance as exact, and must be visible in both
+/// CascadeStats::exact_incomplete and the global
+/// otged_cascade_exact_incomplete_total counter — plus reconciliation of
+/// the otged_exact_parallel_* counters when the parallel verifier runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/generator.hpp"
+#include "search/query_engine.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace otged {
+namespace {
+
+/// A pair that usually needs the exact tier: a near-miss whose invariant
+/// and heuristic bounds disagree around small taus.
+GedPair HardPair(Rng* rng) {
+  Graph base = AidsLikeGraph(rng, 6, 9);
+  SyntheticEditOptions opt;
+  opt.num_edits = rng->UniformInt(2, 4);
+  opt.num_labels = 29;
+  return SyntheticEditPair(base, opt, rng);
+}
+
+TEST(ExactBudgetTest, StarvedVerdictsAreConservativeNeverExact) {
+  CascadeOptions starved_opt;
+  starved_opt.use_ot_verify = false;  // force bound gaps into tier 4
+  starved_opt.exact_budget = 1;
+  FilterCascade starved(starved_opt);
+  CascadeOptions full_opt;
+  full_opt.use_ot_verify = false;
+  FilterCascade full(full_opt);
+
+  Rng rng(31);
+  int starved_runs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    GedPair pair = HardPair(&rng);
+    const GraphInvariants qi = ComputeInvariants(pair.g1);
+    const GraphInvariants gi = ComputeInvariants(pair.g2);
+    for (int tau = 2; tau <= 3; ++tau) {
+      CascadeStats ss, fs;
+      const CascadeVerdict sv = starved.BoundedDistance(
+          pair.g1, qi, pair.g2, gi, tau, /*need_distance=*/true, &ss);
+      const CascadeVerdict fv = full.BoundedDistance(
+          pair.g1, qi, pair.g2, gi, tau, /*need_distance=*/true, &fs);
+      ASSERT_EQ(fs.exact_incomplete, 0) << "full budget starved?!";
+      EXPECT_EQ(ss.SettledTotal(), ss.candidates);
+      if (ss.exact_incomplete > 0) {
+        ++starved_runs;
+        // The starved run reached tier 4, so its LB was <= tau; the
+        // unlimited cascade then escalates past every LB tier too and
+        // must prove the distance.
+        ASSERT_TRUE(fv.exact_distance) << "trial " << trial;
+        EXPECT_EQ(ss.exact_incomplete, 1);
+        EXPECT_EQ(ss.exact_calls, 1);
+        // The three guarantees of an exhausted exact tier: the candidate
+        // is kept, the distance is flagged unproven, and the reported
+        // value is still a feasible upper bound on the true GED.
+        EXPECT_TRUE(sv.within) << "trial " << trial << " tau " << tau;
+        EXPECT_FALSE(sv.exact_distance) << "trial " << trial;
+        EXPECT_GE(sv.ged, fv.ged) << "trial " << trial;
+      } else {
+        // Not starved means decided, and every decision is proof-backed:
+        // the starved cascade must agree with the unlimited one.
+        EXPECT_EQ(sv.within, fv.within) << "trial " << trial;
+        if (sv.exact_distance) {
+          ASSERT_TRUE(fv.exact_distance);
+          EXPECT_EQ(sv.ged, fv.ged);
+        }
+      }
+    }
+  }
+  EXPECT_GT(starved_runs, 0) << "fixture never reached a starved tier 4";
+}
+
+TEST(ExactBudgetTest, StarvedEngineKeepsEveryTrueHitAndReconciles) {
+  // Unlabeled graphs keep the invariant/label lower bounds weak and the
+  // heuristic upper bound loose, so bound gaps actually reach tier 4.
+  Rng rng(91);
+  Graph query = LinuxLikeGraph(&rng, 8, 10);
+  std::vector<Graph> corpus;
+  for (int i = 0; i < 10; ++i) {
+    SyntheticEditOptions eopt;
+    eopt.num_edits = rng.UniformInt(1, 4);
+    eopt.num_labels = 1;
+    corpus.push_back(SyntheticEditPair(query, eopt, &rng).g2);
+  }
+  for (int i = 0; i < 30; ++i) corpus.push_back(LinuxLikeGraph(&rng, 6, 10));
+  GraphStore store;
+  store.AddAll(corpus);
+
+  EngineOptions truth_opt;
+  truth_opt.num_threads = 2;
+  truth_opt.cascade.use_ot_verify = false;
+  QueryEngine truth_engine(&store, truth_opt);
+  EngineOptions starved_opt = truth_opt;
+  starved_opt.cascade.exact_budget = 1;
+  QueryEngine starved_engine(&store, starved_opt);
+
+  constexpr int kTau = 4;
+  const RangeResult truth = truth_engine.Range(query, kTau);
+  ASSERT_EQ(truth.stats.cascade.exact_incomplete, 0);
+
+#if OTGED_TELEMETRY_COMPILED
+  telemetry::SetEnabled(true);
+  const telemetry::MetricsSnapshot before =
+      telemetry::Registry().Snapshot();
+#endif
+  const RangeResult got = starved_engine.Range(query, kTau);
+  const TopKResult topk = starved_engine.TopK(query, 5);
+  CascadeStats total;
+  total.Merge(got.stats.cascade);
+  total.Merge(topk.stats.cascade);
+#if OTGED_TELEMETRY_COMPILED
+  const telemetry::MetricsSnapshot after = telemetry::Registry().Snapshot();
+#endif
+
+  // A starved exact tier must actually have happened for this test to
+  // mean anything; top-k forces need_distance, so bound gaps cannot be
+  // settled short of tier 4.
+  EXPECT_GT(total.exact_incomplete, 0);
+  EXPECT_GE(total.exact_calls, total.exact_incomplete);
+
+  // No false dismissals: every proven hit survives starvation.
+  std::set<int> starved_ids;
+  for (const RangeHit& h : got.hits) starved_ids.insert(h.id);
+  for (const RangeHit& h : truth.hits)
+    EXPECT_TRUE(starved_ids.count(h.id)) << "dropped true hit id " << h.id;
+  // Conservative keeps are flagged unproven, never exact: any starved
+  // hit claiming an exact distance must be a true hit.
+  std::set<int> truth_ids;
+  for (const RangeHit& h : truth.hits) truth_ids.insert(h.id);
+  for (const RangeHit& h : got.hits) {
+    if (h.exact_distance) {
+      EXPECT_TRUE(truth_ids.count(h.id)) << "false exact hit id " << h.id;
+    }
+  }
+  // Top-k under starvation: order still (ged, id), unproven entries
+  // flagged.
+  for (size_t i = 1; i < topk.hits.size(); ++i) {
+    const TopKHit& a = topk.hits[i - 1];
+    const TopKHit& b = topk.hits[i];
+    EXPECT_TRUE(a.ged < b.ged || (a.ged == b.ged && a.id < b.id));
+  }
+
+#if OTGED_TELEMETRY_COMPILED
+  // The same starvation counted two independent ways.
+  EXPECT_EQ(after.CounterValue("otged_cascade_exact_incomplete_total") -
+                before.CounterValue("otged_cascade_exact_incomplete_total"),
+            total.exact_incomplete);
+  EXPECT_EQ(after.CounterValue("otged_cascade_exact_calls_total") -
+                before.CounterValue("otged_cascade_exact_calls_total"),
+            total.exact_calls);
+#endif
+}
+
+TEST(ExactBudgetTest, ParallelExactCountersReconcile) {
+  Rng rng(57);
+  Graph query = AidsLikeGraph(&rng, 7, 9);
+  std::vector<Graph> corpus;
+  for (int i = 0; i < 8; ++i) {
+    SyntheticEditOptions eopt;
+    eopt.num_edits = rng.UniformInt(1, 3);
+    eopt.num_labels = 29;
+    corpus.push_back(SyntheticEditPair(query, eopt, &rng).g2);
+  }
+  for (int i = 0; i < 20; ++i) corpus.push_back(AidsLikeGraph(&rng, 5, 9));
+  GraphStore store;
+  store.AddAll(corpus);
+
+  EngineOptions opt;
+  opt.num_threads = 2;
+  opt.cascade.use_ot_verify = false;
+  opt.cascade.parallel_exact_threads = 2;
+  QueryEngine engine(&store, opt);
+
+#if OTGED_TELEMETRY_COMPILED
+  telemetry::SetEnabled(true);
+  const telemetry::MetricsSnapshot before =
+      telemetry::Registry().Snapshot();
+#endif
+  CascadeStats total;
+  total.Merge(engine.TopK(query, 4).stats.cascade);
+  total.Merge(engine.Range(query, 3).stats.cascade);
+#if OTGED_TELEMETRY_COMPILED
+  const telemetry::MetricsSnapshot after = telemetry::Registry().Snapshot();
+#endif
+
+  // Top-k seed refinement routes through the parallel verifier too, so
+  // runs can exceed tier-4 exact_calls — never the other way around.
+  EXPECT_GT(total.exact_parallel_runs, 0);
+  EXPECT_GE(total.exact_parallel_runs, total.exact_calls);
+  EXPECT_GT(total.exact_parallel_rounds, 0);
+
+#if OTGED_TELEMETRY_COMPILED
+  const struct {
+    const char* counter;
+    long CascadeStats::*field;
+  } kParallelFields[] = {
+      {"otged_exact_parallel_runs_total",
+       &CascadeStats::exact_parallel_runs},
+      {"otged_exact_parallel_expansions_total",
+       &CascadeStats::exact_parallel_expansions},
+      {"otged_exact_parallel_subtrees_total",
+       &CascadeStats::exact_parallel_subtrees},
+      {"otged_exact_parallel_rounds_total",
+       &CascadeStats::exact_parallel_rounds},
+      {"otged_exact_parallel_incumbent_updates_total",
+       &CascadeStats::exact_parallel_incumbent_updates},
+  };
+  for (const auto& nf : kParallelFields)
+    EXPECT_EQ(after.CounterValue(nf.counter) - before.CounterValue(nf.counter),
+              total.*nf.field)
+        << nf.counter;
+#endif
+}
+
+}  // namespace
+}  // namespace otged

@@ -8,6 +8,14 @@ Validates any BENCH_*.json record sharing that schema, including
 BENCH_scale.json (which carries the optional "index" section) and
 BENCH_search.json (which carries the optional "cache" section).
 
+Records carrying a top-level "kernels" key (BENCH_kernels.json, written
+by bench_micro_kernels) use the kernel schema instead: "bench",
+"git_rev" and "timestamp" as above, a non-empty "kernels" list of
+{"name", "ns_per_op", "ops"} entries with unique names, an optional
+"smoke" bool, and an optional "bnb" section with the sequential-vs-
+parallel branch-and-bound comparison (its "equal" flag is the
+determinism gate and must be true).
+
 Usage: validate_bench_json.py BENCH_search.json
 """
 import json
@@ -34,11 +42,8 @@ def require(doc, key, kind, problems):
     return val
 
 
-def validate(doc, problems):
-    if not isinstance(doc, dict):
-        err("top level is not a JSON object", problems)
-        return
-
+def validate_header(doc, problems):
+    """The keys every BENCH_*.json record carries."""
     bench = require(doc, "bench", str, problems)
     if bench is not None and not bench:
         err("bench name is empty", problems)
@@ -53,6 +58,84 @@ def validate(doc, problems):
     ts = require(doc, "timestamp", int, problems)
     if ts is not None and ts <= 0:
         err(f"timestamp {ts} is not positive", problems)
+
+
+def validate_kernels(doc, problems):
+    """BENCH_kernels.json: per-kernel ns/op plus the bnb comparison."""
+    validate_header(doc, problems)
+
+    if "smoke" in doc and not isinstance(doc["smoke"], bool):
+        err(f"smoke: expected bool, got {type(doc['smoke']).__name__}",
+            problems)
+
+    kernels = require(doc, "kernels", list, problems)
+    if kernels is not None:
+        if not kernels:
+            err("kernels list is empty", problems)
+        names = set()
+        for i, entry in enumerate(kernels):
+            if not isinstance(entry, dict):
+                err(f"kernels[{i}] is not an object", problems)
+                continue
+            name = require(entry, "name", str, problems)
+            if name is not None:
+                if not name:
+                    err(f"kernels[{i}].name is empty", problems)
+                elif name in names:
+                    err(f"kernels[{i}].name {name!r} is duplicated",
+                        problems)
+                names.add(name)
+            ns = require(entry, "ns_per_op", (int, float), problems)
+            if ns is not None and ns <= 0:
+                err(f"kernels[{i}].ns_per_op {ns} is not positive",
+                    problems)
+            ops = require(entry, "ops", int, problems)
+            if ops is not None and ops <= 0:
+                err(f"kernels[{i}].ops {ops} is not positive", problems)
+            for extra in sorted(set(entry) - {"name", "ns_per_op", "ops"}):
+                err(f"kernels[{i}] has unknown key {extra!r}", problems)
+
+    if "bnb" in doc:
+        bnb = require(doc, "bnb", dict, problems)
+        if bnb is not None:
+            pairs = require(bnb, "pairs", int, problems)
+            if pairs is not None and pairs <= 0:
+                err(f"bnb.pairs {pairs} is not positive", problems)
+            for key in ("seq_ms", "par_ms", "speedup"):
+                val = require(bnb, key, (int, float), problems)
+                if val is not None and val < 0:
+                    err(f"bnb.{key} {val} is negative", problems)
+            threads = require(bnb, "pool_threads", int, problems)
+            if threads is not None and threads <= 0:
+                err(f"bnb.pool_threads {threads} is not positive", problems)
+            # `require` rejects bools (they are int subclasses), so the
+            # one genuinely-boolean key is checked directly.
+            if "equal" not in bnb:
+                err("missing key 'equal'", problems)
+            elif not isinstance(bnb["equal"], bool):
+                err("key 'equal': expected bool, got "
+                    f"{type(bnb['equal']).__name__}", problems)
+            # The determinism gate is part of the schema: a record whose
+            # parallel solver disagreed with itself is not a valid record.
+            elif bnb["equal"] is False:
+                err("bnb.equal is false: parallel branch-and-bound was "
+                    "not deterministic", problems)
+            for extra in sorted(set(bnb) - {"pairs", "seq_ms", "par_ms",
+                                            "speedup", "equal",
+                                            "pool_threads"}):
+                err(f"bnb has unknown key {extra!r}", problems)
+
+
+def validate(doc, problems):
+    if not isinstance(doc, dict):
+        err("top level is not a JSON object", problems)
+        return
+
+    if "kernels" in doc:
+        validate_kernels(doc, problems)
+        return
+
+    validate_header(doc, problems)
 
     for key in ("threads", "corpus_size", "num_queries"):
         val = require(doc, key, int, problems)
