@@ -9,6 +9,18 @@
 /// vs parallel branch-and-bound wall time with an equality gate across
 /// pool sizes {1, 2, 8}.
 ///
+/// The vectorized kernels are benchmarked through their public entry
+/// points (which honor OTGED_SIMD) and next to their always-compiled
+/// scalar twins (`*_scalar_*` kernels), so one record carries the
+/// before/after of the SIMD layer. A correctness gate re-runs every
+/// scalar/SIMD twin pair over a size sweep that straddles the lane
+/// width: integer kernels (Hungarian, LAPJV, WL colors, degree bound)
+/// must match bit for bit, reassociated float kernels (Sinkhorn, GW
+/// tensor) to a bounded relative tolerance. The multi-pair batch solver
+/// is gated too: ParallelBranchAndBoundGedBatch over the hard-pair pool
+/// must reproduce every solo result byte-for-byte on pools {1, 2, 8}.
+/// Any gate failure makes the run exit nonzero.
+///
 /// A plain executable (no google-benchmark dependency): each kernel is
 /// timed until a minimum wall budget and reported as ns/op, and the run
 /// is persisted as `BENCH_kernels.json` (schema in
@@ -17,7 +29,9 @@
 ///
 /// Flags: --smoke  shrink sizes/iterations for CI smoke runs
 ///        --out P  write the record to P (default BENCH_kernels.json)
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -27,14 +41,17 @@
 #include "assignment/hungarian.hpp"
 #include "assignment/lapjv.hpp"
 #include "core/random.hpp"
+#include "core/simd.hpp"
 #include "exact/astar.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "exact/parallel_bnb.hpp"
 #include "exact/search_common.hpp"
 #include "graph/generator.hpp"
+#include "graph/wl_hash.hpp"
 #include "models/gedgw.hpp"
 #include "ot/gromov.hpp"
 #include "ot/sinkhorn.hpp"
+#include "search/graph_store.hpp"
 #include "telemetry/bench_report.hpp"
 
 using namespace otged;
@@ -83,6 +100,26 @@ Matrix RandomCost(int r, int c, uint64_t seed) {
   return m;
 }
 
+/// Relative difference scaled to the larger magnitude (>= 1 so values
+/// near zero are compared absolutely).
+double RelDiff(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / scale;
+}
+
+/// Entrywise RelDiff bound over two same-shape matrices.
+bool MatricesClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int i = 0; i < a.size(); ++i)
+    if (RelDiff(a[i], b[i]) > tol) return false;
+  return true;
+}
+
+bool SameAssignment(const AssignmentResult& a, const AssignmentResult& b) {
+  return a.cost == b.cost && a.row_to_col == b.row_to_col &&
+         a.feasible == b.feasible;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -121,13 +158,23 @@ int main(int argc, char** argv) {
     report(TimeKernel(
         "sinkhorn_n" + std::to_string(n),
         [&] { Keep(Sinkhorn(cost, mu, nu, sopt).cost); }, min_ms));
+    report(TimeKernel(
+        "sinkhorn_scalar_n" + std::to_string(n),
+        [&] { Keep(detail::SinkhornPlainScalar(cost, mu, nu, sopt).cost); },
+        min_ms));
     Matrix hcost = RandomCost(n, n, 2);
     report(TimeKernel("hungarian_n" + std::to_string(n),
                       [&] { Keep(SolveAssignment(hcost).cost); }, min_ms));
+    report(TimeKernel(
+        "hungarian_scalar_n" + std::to_string(n),
+        [&] { Keep(detail::SolveAssignmentScalar(hcost).cost); }, min_ms));
     Matrix jcost = RandomCost(n, n, 3);
     report(TimeKernel("lapjv_n" + std::to_string(n),
                       [&] { Keep(SolveAssignmentJV(jcost).cost); },
                       min_ms));
+    report(TimeKernel(
+        "lapjv_scalar_n" + std::to_string(n),
+        [&] { Keep(detail::SolveAssignmentJVScalar(jcost).cost); }, min_ms));
     Rng grng(4);
     Graph pg1 = PowerLawGraph(n, 2, &grng), pg2 = PowerLawGraph(n, 2, &grng);
     Matrix a1 = pg1.AdjacencyMatrix(), a2 = pg2.AdjacencyMatrix();
@@ -135,6 +182,10 @@ int main(int argc, char** argv) {
     report(TimeKernel("gw_tensor_n" + std::to_string(n),
                       [&] { Keep(GwTensorProduct(a1, a2, pi).Sum()); },
                       min_ms));
+    report(TimeKernel(
+        "gw_tensor_scalar_n" + std::to_string(n),
+        [&] { Keep(detail::GwTensorProductScalar(a1, a2, pi).Sum()); },
+        min_ms));
   }
   {
     const int n = smoke ? 10 : 30;
@@ -149,6 +200,69 @@ int main(int argc, char** argv) {
     report(TimeKernel("gedgw_solve_n" + std::to_string(n),
                       [&] { Keep(solver.Predict(pair.g1, pair.g2).ged); },
                       min_ms));
+  }
+
+  // Scalar/SIMD twin gate: the same inputs through both paths of every
+  // vectorized kernel, over sizes that straddle the lane width (odd,
+  // prime, sub-lane and multi-block). Integer kernels must agree bit for
+  // bit; the reassociated float kernels to a bounded relative tolerance.
+  std::printf("== scalar vs simd twin gate (lanes=%d, isa=%s) ==\n",
+              simd::kDoubleLanes, simd::kIsaName);
+  bool twins_ok = true;
+  {
+    constexpr double kUlpTol = 1e-9;
+    bool ok_hung = true, ok_lapjv = true, ok_sink = true, ok_gw = true,
+         ok_wl = true, ok_deg = true;
+    for (int n : {3, 5, 8, 13, 33}) {
+      const uint64_t s = static_cast<uint64_t>(n);
+      Matrix c = RandomCost(n, n, 100 + s);
+      ok_hung = ok_hung && SameAssignment(detail::SolveAssignmentScalar(c),
+                                          detail::SolveAssignmentSimd(c));
+      ok_lapjv = ok_lapjv &&
+                 SameAssignment(detail::SolveAssignmentJVScalar(c),
+                                detail::SolveAssignmentJVSimd(c));
+      Matrix mu = Matrix::ColVec(n, 1.0), nu = Matrix::ColVec(n, 1.0);
+      SinkhornOptions sopt;
+      sopt.max_iters = 20;
+      const SinkhornResult ps = detail::SinkhornPlainScalar(c, mu, nu, sopt);
+      const SinkhornResult pv = detail::SinkhornPlainSimd(c, mu, nu, sopt);
+      ok_sink = ok_sink && RelDiff(ps.cost, pv.cost) <= kUlpTol &&
+                MatricesClose(ps.coupling, pv.coupling, kUlpTol);
+      sopt.log_domain = true;
+      const SinkhornResult ls = detail::SinkhornLogScalar(c, mu, nu, sopt);
+      const SinkhornResult lv = detail::SinkhornLogSimd(c, mu, nu, sopt);
+      ok_sink = ok_sink && RelDiff(ls.cost, lv.cost) <= kUlpTol &&
+                MatricesClose(ls.coupling, lv.coupling, kUlpTol);
+      Rng grng(200 + s);
+      Graph tg1 = PowerLawGraph(n, 2, &grng);
+      Graph tg2 = PowerLawGraph(n, 2, &grng);
+      Matrix a1 = tg1.AdjacencyMatrix(), a2 = tg2.AdjacencyMatrix();
+      Matrix pi(n, n, 1.0 / n);
+      ok_gw = ok_gw && MatricesClose(detail::GwTensorProductScalar(a1, a2, pi),
+                                     detail::GwTensorProductSimd(a1, a2, pi),
+                                     kUlpTol);
+      ok_wl = ok_wl && detail::RefinedColorsScalar(tg1, 3) ==
+                           detail::RefinedColorsSimd(tg1, 3);
+      Rng drng(300 + s);
+      std::vector<int> da(static_cast<size_t>(n)),
+          db(static_cast<size_t>(n) + 3);
+      for (int& d : da) d = static_cast<int>(drng.Uniform(0, 9));
+      for (int& d : db) d = static_cast<int>(drng.Uniform(0, 9));
+      std::sort(da.begin(), da.end());
+      std::sort(db.begin(), db.end());
+      ok_deg = ok_deg && detail::DegreeSequenceEdgeBoundScalar(da, db) ==
+                             detail::DegreeSequenceEdgeBoundSimd(da, db);
+    }
+    const auto gate = [&](const char* name, bool ok) {
+      std::printf("  %-28s [%s]\n", name, ok ? "PASS" : "FAIL");
+      twins_ok = twins_ok && ok;
+    };
+    gate("hungarian (bit-equal)", ok_hung);
+    gate("lapjv (bit-equal)", ok_lapjv);
+    gate("sinkhorn (<=1e-9 rel)", ok_sink);
+    gate("gw_tensor (<=1e-9 rel)", ok_gw);
+    gate("wl_colors (bit-equal)", ok_wl);
+    gate("degree_bound (bit-equal)", ok_deg);
   }
 
   std::printf("== exact searchers ==\n");
@@ -232,10 +346,14 @@ int main(int argc, char** argv) {
   // Sequential vs parallel branch and bound over a pool of hard pairs,
   // with a determinism gate: the parallel result must be identical for
   // pool sizes 1, 2 and 8, and its distance must match the sequential
-  // solver's on every completed pair.
+  // solver's on every completed pair. The multi-pair batch solver is
+  // timed and gated alongside: one ParallelBranchAndBoundGedBatch over
+  // all pairs (their subtrees sharing each round) must reproduce every
+  // solo result — ged, matching, exact flag, expansion count — on every
+  // pool size.
   std::printf("== branch and bound: sequential vs parallel ==\n");
   const int bnb_pairs_n = smoke ? 3 : 6;
-  double seq_ms = 0.0, par_ms = 0.0;
+  double seq_ms = 0.0, par_ms = 0.0, batch_ms = 0.0;
   bool equal = true;
   {
     Rng rng(9);
@@ -280,12 +398,34 @@ int main(int argc, char** argv) {
       equal = equal && (!par[i].exact || !seq[i].exact ||
                         par[i].ged == seq[i].ged);
     }
+    // Multi-pair batch: all pairs under one pool acquisition, subtrees
+    // sharing every round. Byte-identical to the solo runs by design;
+    // the gate checks it on every pool size.
+    std::vector<ParallelBnbBatchItem> bitems(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      bitems[i].g1 = &pairs[i].g1;
+      bitems[i].g2 = &pairs[i].g2;
+    }
+    std::vector<GedSearchResult> batch8;
+    batch_ms = time_ms(
+        [&] { batch8 = ParallelBranchAndBoundGedBatch(bitems, &pool8); });
+    const std::vector<GedSearchResult> batch1 =
+        ParallelBranchAndBoundGedBatch(bitems, &pool1);
+    const std::vector<GedSearchResult> batch2 =
+        ParallelBranchAndBoundGedBatch(bitems, &pool2);
+    const auto same = [](const GedSearchResult& a, const GedSearchResult& b) {
+      return a.ged == b.ged && a.matching == b.matching &&
+             a.exact == b.exact && a.expansions == b.expansions;
+    };
+    for (size_t i = 0; i < pairs.size(); ++i)
+      equal = equal && same(batch8[i], par[i]) && same(batch1[i], par[i]) &&
+              same(batch2[i], par[i]);
     std::printf("  %d pairs: sequential %.2f ms | parallel(8) %.2f ms | "
-                "speedup %.2fx\n",
+                "speedup %.2fx | batch(8) %.2f ms\n",
                 bnb_pairs_n, seq_ms, par_ms,
-                par_ms > 0.0 ? seq_ms / par_ms : 0.0);
+                par_ms > 0.0 ? seq_ms / par_ms : 0.0, batch_ms);
     std::printf("  determinism across pools {1, 2, 8} + sequential "
-                "agreement: [%s]\n",
+                "agreement + batch == solo: [%s]\n",
                 equal ? "PASS" : "FAIL");
   }
 
@@ -302,6 +442,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"timestamp\": %lld,\n",
                static_cast<long long>(std::time(nullptr)));
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"simd_isa\": \"%s\",\n", simd::kIsaName);
+  std::fprintf(f, "  \"simd_lanes\": %d,\n", simd::ActiveDoubleLanes());
   std::fprintf(f, "  \"kernels\": [\n");
   for (size_t i = 0; i < timings.size(); ++i)
     std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
@@ -311,13 +453,16 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"bnb\": {\"pairs\": %d, \"seq_ms\": %.3f, "
-               "\"par_ms\": %.3f, \"speedup\": %.3f, \"equal\": %s, "
-               "\"pool_threads\": 8}\n",
+               "\"par_ms\": %.3f, \"speedup\": %.3f, "
+               "\"batch_ms\": %.3f, \"batch_speedup\": %.3f, "
+               "\"equal\": %s, \"pool_threads\": 8},\n",
                bnb_pairs_n, seq_ms, par_ms,
-               par_ms > 0.0 ? seq_ms / par_ms : 0.0,
+               par_ms > 0.0 ? seq_ms / par_ms : 0.0, batch_ms,
+               batch_ms > 0.0 ? seq_ms / batch_ms : 0.0,
                equal ? "true" : "false");
+  std::fprintf(f, "  \"twins_equal\": %s\n", twins_ok ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("kernel record written to %s\n", out_path.c_str());
-  return equal ? 0 : 1;
+  return equal && twins_ok ? 0 : 1;
 }

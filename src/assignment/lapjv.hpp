@@ -18,6 +18,18 @@ namespace otged {
 /// Jonker-Volgenant algorithm. Same contract as SolveAssignment().
 AssignmentResult SolveAssignmentJV(const Matrix& cost);
 
+namespace detail {
+
+/// Scalar / SIMD twins behind SolveAssignmentJV (dispatch on
+/// simd::Enabled()). Like the Hungarian twins, outputs are identical:
+/// reduced costs keep the scalar association (cost - v), two-smallest
+/// scans replay the sequential tie-breaks, and Dijkstra's column picks
+/// keep the first-argmin order.
+AssignmentResult SolveAssignmentJVScalar(const Matrix& cost);
+AssignmentResult SolveAssignmentJVSimd(const Matrix& cost);
+
+}  // namespace detail
+
 }  // namespace otged
 
 #endif  // OTGED_ASSIGNMENT_LAPJV_HPP_

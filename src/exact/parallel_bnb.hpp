@@ -31,6 +31,8 @@
 #ifndef OTGED_EXACT_PARALLEL_BNB_HPP_
 #define OTGED_EXACT_PARALLEL_BNB_HPP_
 
+#include <vector>
+
 #include "exact/astar.hpp"
 #include "search/work_stealing_pool.hpp"
 
@@ -69,6 +71,32 @@ GedSearchResult ParallelBranchAndBoundGed(const Graph& g1, const Graph& g2,
                                           WorkStealingPool* pool,
                                           const ParallelBnbOptions& opt = {},
                                           ParallelBnbStats* stats = nullptr);
+
+/// One pair of a batched run. Both graphs must outlive the call and
+/// satisfy g1->NumNodes() <= g2->NumNodes() (use OrderBySize); options —
+/// notably the per-pair upper-bound hint and expansion budget — apply to
+/// this pair alone.
+struct ParallelBnbBatchItem {
+  const Graph* g1 = nullptr;
+  const Graph* g2 = nullptr;
+  ParallelBnbOptions opt;
+};
+
+/// Multi-pair exact GED over one pool: all pairs' live subtrees share
+/// each round's ParallelFor, so when one pair's frontier collapses to a
+/// few straggler subtrees the other pairs' work keeps every thread busy —
+/// the cross-pair scheduling win over solving hard pairs back to back.
+///
+/// Determinism contract, extended: results[i] (and stats[i]) are
+/// byte-identical to ParallelBranchAndBoundGed(*items[i].g1,
+/// *items[i].g2, pool, items[i].opt) — for ANY pool thread count and ANY
+/// batch composition. Each pair keeps its own round-stable incumbent and
+/// pending inbox; per-pair quotas, live sets, and the argmin merge are
+/// computed from that pair's own deterministic quantities exactly as the
+/// solo driver computes them. Same pool caveats as the solo entry point.
+std::vector<GedSearchResult> ParallelBranchAndBoundGedBatch(
+    const std::vector<ParallelBnbBatchItem>& items, WorkStealingPool* pool,
+    std::vector<ParallelBnbStats>* stats = nullptr);
 
 }  // namespace otged
 

@@ -75,6 +75,29 @@ CgResult FusedGwConditionalGradientGeneral(
     const Matrix& m, const std::function<Matrix(const Matrix&)>& tensor_product,
     double alpha = 1.0, const CgOptions& opt = {});
 
+namespace detail {
+
+/// Scalar / SIMD twins behind GwTensorProduct and
+/// GwTensorProductClasses (dispatch on simd::Enabled()). The scalar
+/// twins keep the original Matrix-expression arithmetic bit for bit.
+/// The SIMD twins restructure the cross term as (C2 (C1 pi)^T)^T so the
+/// exact-zero skip rides the sparse cost matrices instead of the dense
+/// intermediate, fold the Hadamard squares into the r/c passes, and
+/// vectorize every inner loop — reassociated sums, so equal to a few ulp
+/// rather than bit-identical.
+Matrix GwTensorProductScalar(const Matrix& c1, const Matrix& c2,
+                             const Matrix& pi);
+Matrix GwTensorProductSimd(const Matrix& c1, const Matrix& c2,
+                           const Matrix& pi);
+Matrix GwTensorProductClassesScalar(const std::vector<Matrix>& c1,
+                                    const std::vector<Matrix>& c2,
+                                    const Matrix& pi);
+Matrix GwTensorProductClassesSimd(const std::vector<Matrix>& c1,
+                                  const std::vector<Matrix>& c2,
+                                  const Matrix& pi);
+
+}  // namespace detail
+
 }  // namespace otged
 
 #endif  // OTGED_OT_GROMOV_HPP_

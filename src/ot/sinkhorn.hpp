@@ -37,6 +37,29 @@ SinkhornResult Sinkhorn(const Matrix& cost, const Matrix& mu,
 /// with the dummy row removed (n1 x n2) plus w1 = <C, pi>.
 SinkhornResult SolveGedOt(const Matrix& cost, const SinkhornOptions& opt = {});
 
+namespace detail {
+
+/// Scalar / SIMD twins behind Sinkhorn (dispatch on simd::Enabled()).
+/// Both hoist the kernel matrix (and its transpose) out of the iteration
+/// loop. The scalar twins replicate the original Matrix-expression
+/// arithmetic value-for-value (same dot order, same CwiseDiv clamp, same
+/// marginal-check cadence); the SIMD twins reassociate the reductions and
+/// use the vector exp, so they track the scalar twins to a few ulp per
+/// entry rather than bit-for-bit.
+SinkhornResult SinkhornPlainScalar(const Matrix& cost, const Matrix& mu,
+                                   const Matrix& nu,
+                                   const SinkhornOptions& opt);
+SinkhornResult SinkhornPlainSimd(const Matrix& cost, const Matrix& mu,
+                                 const Matrix& nu,
+                                 const SinkhornOptions& opt);
+SinkhornResult SinkhornLogScalar(const Matrix& cost, const Matrix& mu,
+                                 const Matrix& nu,
+                                 const SinkhornOptions& opt);
+SinkhornResult SinkhornLogSimd(const Matrix& cost, const Matrix& mu,
+                               const Matrix& nu, const SinkhornOptions& opt);
+
+}  // namespace detail
+
 }  // namespace otged
 
 #endif  // OTGED_OT_SINKHORN_HPP_

@@ -31,6 +31,7 @@ void CascadeStats::Merge(const CascadeStats& o) {
   exact_parallel_subtrees += o.exact_parallel_subtrees;
   exact_parallel_rounds += o.exact_parallel_rounds;
   exact_parallel_incumbent_updates += o.exact_parallel_incumbent_updates;
+  exact_parallel_batches += o.exact_parallel_batches;
 }
 
 double CascadeStats::PrunedBeforeSolvers() const {
@@ -66,6 +67,7 @@ struct CascadeMetrics {
   telemetry::Counter* parallel_subtrees;
   telemetry::Counter* parallel_rounds;
   telemetry::Counter* parallel_incumbent_updates;
+  telemetry::Counter* parallel_batches;
   telemetry::Histogram* tier_latency[5];
 };
 
@@ -118,6 +120,9 @@ const CascadeMetrics& Metrics() {
     mm->parallel_incumbent_updates = &reg.GetCounter(
         "otged_exact_parallel_incumbent_updates_total",
         "stable-incumbent improvements folded at round barriers");
+    mm->parallel_batches = &reg.GetCounter(
+        "otged_exact_parallel_batches_total",
+        "multi-pair batch dispatches onto the exact pool");
     for (int t = 0; t < 5; ++t)
       mm->tier_latency[t] = &reg.GetHistogram(
           std::string("otged_cascade_tier_latency_us{tier=\"") + kTier[t] +
@@ -137,7 +142,8 @@ CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
                                               const GraphInvariants& gi,
                                               int tau, bool need_distance,
                                               CascadeStats* stats,
-                                              CascadeProbe* probe) const {
+                                              CascadeProbe* probe,
+                                              DeferredExact* defer) const {
   OTGED_DCHECK(stats != nullptr);
   stats->candidates++;
 #if OTGED_TELEMETRY_COMPILED
@@ -309,6 +315,21 @@ CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
     Metrics().exact_calls->Inc();
   }
 #endif
+  if (defer != nullptr) {
+    // Hand the pair back for batch verification. Escalation is already
+    // charged above; FinishDeferredExact charges the decision counters,
+    // so the split stays counter-for-counter identical to running here.
+    defer->pending = true;
+    defer->g1 = g1;
+    defer->g2 = g2;
+    defer->tau = tau;
+    defer->lb = lb;
+    defer->ub = ub;
+    v.ged = ub;  // placeholder — the caller must discard this verdict
+    v.tier = CascadeTier::kExact;
+    mark(CascadeTier::kExact);
+    return finish(v);
+  }
   GedSearchResult exact = ExactSearch(*g1, *g2, opt_.exact_budget, ub, stats);
   exact_expansions = exact.expansions;
   if (!exact.exact) {
@@ -332,6 +353,34 @@ CascadeVerdict FilterCascade::BoundedDistance(const Graph& query,
   best_ub = exact.ged;
   mark(CascadeTier::kExact);
   return finish(v);
+}
+
+CascadeVerdict FilterCascade::FinishDeferredExact(
+    const DeferredExact& defer, const GedSearchResult& exact,
+    CascadeStats* stats) const {
+  OTGED_DCHECK(stats != nullptr && defer.pending);
+#if OTGED_TELEMETRY_COMPILED
+  const bool metered = telemetry::Enabled();
+#endif
+  if (!exact.exact) {
+    stats->exact_incomplete++;
+#if OTGED_TELEMETRY_COMPILED
+    if (metered) Metrics().exact_incomplete->Inc();
+#endif
+  }
+  stats->decided_exact++;
+#if OTGED_TELEMETRY_COMPILED
+  if (metered) Metrics().decided[2]->Inc();
+#endif
+  // Same no-false-dismissals rule as the inline tier: on budget
+  // exhaustion the distance is only a feasible upper bound, so keep the
+  // candidate and flag it unproven.
+  CascadeVerdict v;
+  v.within = exact.ged <= defer.tau || !exact.exact;
+  v.ged = exact.ged;
+  v.exact_distance = exact.exact;
+  v.tier = CascadeTier::kExact;
+  return v;
 }
 
 GedSearchResult FilterCascade::ExactSearch(const Graph& g1, const Graph& g2,
@@ -373,6 +422,63 @@ GedSearchResult FilterCascade::ExactSearch(const Graph& g1, const Graph& g2,
   }
 #endif
   return res;
+}
+
+std::vector<GedSearchResult> FilterCascade::ExactSearchBatch(
+    const std::vector<ExactBatchRequest>& items,
+    const std::vector<CascadeStats*>& stats) const {
+  OTGED_CHECK(items.size() == stats.size());
+  std::vector<GedSearchResult> out;
+  out.reserve(items.size());
+  if (items.empty()) return out;
+  if (exact_pool_ == nullptr) {
+    // Sequential fallback: per-pair dispatch, identical to looping
+    // ExactSearch (no parallel counters move on this path either).
+    for (size_t i = 0; i < items.size(); ++i)
+      out.push_back(ExactSearch(*items[i].g1, *items[i].g2, items[i].budget,
+                                items[i].initial_upper_bound, stats[i]));
+    return out;
+  }
+  std::vector<ParallelBnbBatchItem> batch;
+  batch.reserve(items.size());
+  for (const ExactBatchRequest& it : items) {
+    ParallelBnbBatchItem b;
+    b.g1 = it.g1;
+    b.g2 = it.g2;
+    b.opt.max_expansions = it.budget;
+    b.opt.initial_upper_bound = it.initial_upper_bound;
+    batch.push_back(b);
+  }
+  std::vector<ParallelBnbStats> ps;
+  {
+    // One pool acquisition for the whole batch: all pairs' subtrees share
+    // each round's ParallelFor, so a pair down to straggler subtrees no
+    // longer leaves exact threads idle while other hard pairs wait.
+    MutexLock exact_lock(exact_mu_);
+    out = ParallelBranchAndBoundGedBatch(batch, exact_pool_.get(), &ps);
+  }
+  stats[0]->exact_parallel_batches++;
+  for (size_t i = 0; i < items.size(); ++i) {
+    stats[i]->exact_parallel_runs++;
+    stats[i]->exact_parallel_expansions += out[i].expansions;
+    stats[i]->exact_parallel_subtrees += ps[i].subtrees;
+    stats[i]->exact_parallel_rounds += ps[i].rounds;
+    stats[i]->exact_parallel_incumbent_updates += ps[i].incumbent_updates;
+  }
+#if OTGED_TELEMETRY_COMPILED
+  if (telemetry::Enabled()) {
+    const CascadeMetrics& m = Metrics();
+    m.parallel_batches->Inc();
+    m.parallel_runs->Inc(static_cast<long>(items.size()));
+    for (size_t i = 0; i < items.size(); ++i) {
+      m.parallel_expansions->Inc(out[i].expansions);
+      m.parallel_subtrees->Inc(ps[i].subtrees);
+      m.parallel_rounds->Inc(ps[i].rounds);
+      m.parallel_incumbent_updates->Inc(ps[i].incumbent_updates);
+    }
+  }
+#endif
+  return out;
 }
 
 }  // namespace otged

@@ -44,7 +44,10 @@ struct CascadeOptions {
   /// many threads, so one hard pair no longer serializes on a single
   /// core. The parallel solver's output is byte-identical for any value
   /// here (see parallel_bnb.hpp); concurrent hard pairs serialize on the
-  /// private pool. 0 or 1 = sequential solver (the default).
+  /// private pool — except through ExactSearchBatch, which solves many
+  /// pairs under one acquisition with their subtrees sharing each round
+  /// (the QueryEngine routes batch tier-4 work and top-k seed refinement
+  /// through it). 0 or 1 = sequential solver (the default).
   int parallel_exact_threads = 0;
 };
 
@@ -85,6 +88,11 @@ struct CascadeStats {
   long exact_parallel_subtrees = 0;    ///< root subtrees distributed
   long exact_parallel_rounds = 0;      ///< round barriers executed
   long exact_parallel_incumbent_updates = 0;  ///< incumbent folds
+  /// Multi-pair batch dispatches (ExactSearchBatch calls that ran on the
+  /// parallel pool). A batch spanning several queries is attributed to
+  /// the first pair's stats sink, so summing over queries still
+  /// reconciles with otged_exact_parallel_batches_total.
+  long exact_parallel_batches = 0;
 
   void Merge(const CascadeStats& o);
   /// Fraction of candidates dismissed before any OT or exact solver ran.
@@ -119,6 +127,22 @@ struct CascadeVerdict {
   CascadeTier tier = CascadeTier::kInvariant;  ///< deciding tier
 };
 
+/// A tier-4 verification BoundedDistance handed back instead of running:
+/// everything the exact solver needs (the size-ordered pair and the best
+/// feasible seed bound) plus the context FinishDeferredExact needs to
+/// complete the verdict. `pending` is set iff the pair actually reached
+/// tier 4 — when an earlier tier settled it, the returned verdict is
+/// final and the deferral must be ignored. The graph pointers alias the
+/// caller's arguments and stay valid only as long as those do.
+struct DeferredExact {
+  bool pending = false;
+  const Graph* g1 = nullptr;  ///< ordered: g1->NumNodes() <= g2->NumNodes()
+  const Graph* g2 = nullptr;
+  int tau = 0;
+  int lb = -1;  ///< best admissible lower bound established by tiers 0-3
+  int ub = -1;  ///< best feasible upper bound (the exact solver's seed)
+};
+
 /// Stateless (after construction) decision procedure over graph pairs;
 /// safe to share across threads. The cascade is corpus-agnostic: callers
 /// (the QueryEngine) hand it the stored graph and its precomputed
@@ -136,11 +160,29 @@ class FilterCascade {
   /// bounds disagree) until `ged` is the exact distance — top-k ranking
   /// needs this; range queries do not. `qi` must be
   /// ComputeInvariants(query) and `gi` ComputeInvariants(g).
+  /// With `defer` non-null, a pair the cheap tiers cannot settle is NOT
+  /// verified here: the cascade fills `defer` (pending = true, escalation
+  /// counters already charged) and returns a placeholder verdict the
+  /// caller must discard. The caller then solves the collected pairs —
+  /// typically via one ExactSearchBatch — and completes each verdict with
+  /// FinishDeferredExact. Settled pairs leave `defer->pending` false and
+  /// their verdict is final, exactly as without deferral.
   CascadeVerdict BoundedDistance(const Graph& query,
                                  const GraphInvariants& qi, const Graph& g,
                                  const GraphInvariants& gi, int tau,
                                  bool need_distance, CascadeStats* stats,
-                                 CascadeProbe* probe = nullptr) const;
+                                 CascadeProbe* probe = nullptr,
+                                 DeferredExact* defer = nullptr) const;
+
+  /// Completes a deferred tier-4 decision from the solver's result:
+  /// charges the decided/incomplete counters and assembles the verdict
+  /// with the same no-false-dismissals rule the inline tier applies. The
+  /// combination BoundedDistance(defer) + ExactSearch + this is
+  /// counter-for-counter and bit-for-bit identical to the non-deferred
+  /// call.
+  CascadeVerdict FinishDeferredExact(const DeferredExact& defer,
+                                     const GedSearchResult& exact,
+                                     CascadeStats* stats) const;
 
   const CascadeOptions& options() const { return opt_; }
 
@@ -155,6 +197,29 @@ class FilterCascade {
                               int initial_upper_bound,
                               CascadeStats* stats) const
       EXCLUDES(exact_mu_);
+
+  /// One pair of an ExactSearchBatch: the size-ordered graphs plus the
+  /// same per-pair knobs ExactSearch takes.
+  struct ExactBatchRequest {
+    const Graph* g1 = nullptr;  ///< g1->NumNodes() <= g2->NumNodes()
+    const Graph* g2 = nullptr;
+    long budget = 0;
+    int initial_upper_bound = -1;
+  };
+
+  /// Multi-pair tier-4 entry point: solves every request with ONE
+  /// parallel branch-and-bound batch (one pool acquisition, all pairs'
+  /// subtrees sharing each round's ParallelFor — see
+  /// ParallelBranchAndBoundGedBatch), or a sequential per-pair loop when
+  /// parallel_exact_threads <= 1. results[i] is byte-identical to
+  /// ExactSearch(*items[i].g1, *items[i].g2, ...) for any batch
+  /// composition. `stats[i]` (same length as `items`, entries may
+  /// repeat) receives pair i's parallel-run counters, so a batch spanning
+  /// several queries attributes work to the right query; the one
+  /// batch-level counter goes to stats[0] (see exact_parallel_batches).
+  std::vector<GedSearchResult> ExactSearchBatch(
+      const std::vector<ExactBatchRequest>& items,
+      const std::vector<CascadeStats*>& stats) const EXCLUDES(exact_mu_);
 
  private:
   CascadeOptions opt_;

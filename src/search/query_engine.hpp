@@ -185,11 +185,45 @@ class QueryEngine {
     uint64_t trace_id = 0;  ///< process-unique id stamped on TraceEvents
   };
 
+  /// Context of one deferred tier-4 evaluation: the cascade's deferral
+  /// plus what EvalPair stashed so the trace can be completed after the
+  /// batch solve.
+  struct DeferredEval {
+    DeferredExact d;
+    CascadeProbe probe;
+    double t0 = 0.0;
+    bool tracing = false;
+  };
+
   /// Answers one (query, snapshot slot) pair: bound cache first, then the
-  /// cascade; proven-exact outcomes are written back to the cache.
+  /// cascade; proven-exact outcomes are written back to the cache. With
+  /// `dctx` non-null a pair the cheap tiers cannot settle is deferred
+  /// (dctx->d.pending set, placeholder verdict returned) for a later
+  /// ResolveDeferred batch instead of entering tier 4 here.
   CascadeVerdict EvalPair(const Graph& query, const QueryContext& qc,
                           const StoreSnapshot& snap, int slot, int tau,
-                          bool need_distance, CascadeStats* stats) const;
+                          bool need_distance, CascadeStats* stats,
+                          DeferredEval* dctx = nullptr) const;
+
+  /// Completes one deferred pair from the batch solver's result: verdict
+  /// assembly (FinishDeferredExact), bound-cache write-back, trace event.
+  CascadeVerdict FinishDeferredPair(const QueryContext& qc,
+                                    const StoreSnapshot& snap, int slot,
+                                    const DeferredEval& dctx,
+                                    const GedSearchResult& exact,
+                                    CascadeStats* stats) const;
+
+  /// Solves every pending deferral of one pool pass in a single
+  /// ExactSearchBatch — all queries' hard pairs share the exact pool's
+  /// rounds — and writes the completed verdicts back into their slots.
+  /// `tasks[t]` gives the (unique query, slot) behind defers[t]; stats
+  /// are attributed per unique query into `stats[u]`.
+  void ResolveDeferred(const std::vector<std::pair<int, int>>& tasks,
+                       const std::vector<DeferredEval>& defers,
+                       const StoreSnapshot& snap,
+                       const std::vector<QueryContext>& ctx,
+                       std::vector<CascadeStats>* stats,
+                       std::vector<CascadeVerdict>* verdicts) const;
 
   /// Pins the current snapshot, first draining the store's erase log into
   /// cache invalidations.

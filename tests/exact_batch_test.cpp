@@ -1,0 +1,267 @@
+/// \file exact_batch_test.cpp
+/// \brief The multi-pair batched exact verifier and its engine wiring:
+/// ParallelBranchAndBoundGedBatch must reproduce every solo run byte for
+/// byte — results AND deterministic run stats — for any pool thread
+/// count ({1, 2, 8}) and any batch composition (whole pool, halves,
+/// interleaved slices), including pairs whose expansion budget runs out.
+/// At the engine level, a parallel-exact engine (which routes tier-4
+/// work and top-k seed refinement through ExactSearchBatch) must return
+/// the same hits and the same cascade counters as a sequential-exact
+/// engine whenever budgets are generous enough that both solvers prove
+/// their distances, and the exact_parallel_batches counter must
+/// reconcile per query.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exact/parallel_bnb.hpp"
+#include "graph/generator.hpp"
+#include "search/query_engine.hpp"
+#include "search/work_stealing_pool.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace otged {
+namespace {
+
+bool SameResult(const GedSearchResult& a, const GedSearchResult& b) {
+  return a.ged == b.ged && a.matching == b.matching && a.exact == b.exact &&
+         a.expansions == b.expansions;
+}
+
+bool SameStats(const ParallelBnbStats& a, const ParallelBnbStats& b) {
+  return a.subtrees == b.subtrees && a.rounds == b.rounds &&
+         a.incumbent_updates == b.incumbent_updates;
+}
+
+/// ~200 hard pairs of mixed families, sizes and per-pair options: some
+/// carry an upper-bound hint, some a starved expansion budget (so the
+/// incomplete path is part of the determinism surface), some a tiny
+/// round quota (many rounds, many incumbent folds).
+struct BatchFixture {
+  std::vector<GedPair> pairs;
+  std::vector<ParallelBnbBatchItem> items;
+
+  explicit BatchFixture(int count) {
+    Rng rng(4242);
+    pairs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      SyntheticEditOptions eopt;
+      eopt.num_edits = 2 + i % 3;
+      Graph base;
+      if (i % 3 == 0) {
+        base = AidsLikeGraph(&rng, 6, 10);
+        eopt.num_labels = 29;
+      } else {
+        base = LinuxLikeGraph(&rng, 6, 9);
+        eopt.num_labels = 1;
+        eopt.allow_relabel = false;
+      }
+      pairs.push_back(SyntheticEditPair(base, eopt, &rng));
+    }
+    items.resize(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      items[i].g1 = &pairs[i].g1;
+      items[i].g2 = &pairs[i].g2;
+      items[i].opt.max_expansions = i % 7 == 3 ? 500 : 50'000;
+      if (i % 5 == 1) items[i].opt.initial_upper_bound = pairs[i].ged;
+      if (i % 11 == 4) items[i].opt.round_quota = 64;
+    }
+  }
+};
+
+TEST(ExactBatchTest, BatchMatchesSoloForAnyPoolAndComposition) {
+  const BatchFixture fx(200);
+  WorkStealingPool pool1(1), pool2(2), pool8(8);
+
+  // Reference: every pair solved solo (thread count is already proven
+  // irrelevant by exact_parallel_test; pool2 stands in for all).
+  std::vector<GedSearchResult> solo(fx.items.size());
+  std::vector<ParallelBnbStats> solo_stats(fx.items.size());
+  int incomplete = 0;
+  for (size_t i = 0; i < fx.items.size(); ++i) {
+    solo[i] =
+        ParallelBranchAndBoundGed(*fx.items[i].g1, *fx.items[i].g2, &pool2,
+                                  fx.items[i].opt, &solo_stats[i]);
+    incomplete += solo[i].exact ? 0 : 1;
+  }
+  ASSERT_GT(incomplete, 0) << "fixture never exhausts a budget";
+
+  // One batch over every pool size.
+  for (WorkStealingPool* pool : {&pool1, &pool2, &pool8}) {
+    std::vector<ParallelBnbStats> stats;
+    const std::vector<GedSearchResult> got =
+        ParallelBranchAndBoundGedBatch(fx.items, pool, &stats);
+    ASSERT_EQ(got.size(), solo.size());
+    ASSERT_EQ(stats.size(), solo.size());
+    for (size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_TRUE(SameResult(got[i], solo[i]))
+          << "pool " << pool->num_threads() << " pair " << i;
+      EXPECT_TRUE(SameStats(stats[i], solo_stats[i]))
+          << "pool " << pool->num_threads() << " pair " << i;
+    }
+  }
+
+  // Composition independence: halves and a stride-3 slice must each
+  // reproduce their pairs' solo results exactly.
+  const size_t half = fx.items.size() / 2;
+  const std::vector<ParallelBnbBatchItem> front(fx.items.begin(),
+                                                fx.items.begin() + half);
+  const std::vector<GedSearchResult> front_got =
+      ParallelBranchAndBoundGedBatch(front, &pool2);
+  for (size_t i = 0; i < front.size(); ++i)
+    EXPECT_TRUE(SameResult(front_got[i], solo[i])) << "front pair " << i;
+  std::vector<ParallelBnbBatchItem> strided;
+  std::vector<size_t> origin;
+  for (size_t i = 0; i < fx.items.size(); i += 3) {
+    strided.push_back(fx.items[i]);
+    origin.push_back(i);
+  }
+  const std::vector<GedSearchResult> strided_got =
+      ParallelBranchAndBoundGedBatch(strided, &pool8);
+  for (size_t i = 0; i < strided.size(); ++i)
+    EXPECT_TRUE(SameResult(strided_got[i], solo[origin[i]]))
+        << "strided pair " << i;
+
+  // Degenerate compositions.
+  EXPECT_TRUE(ParallelBranchAndBoundGedBatch({}, &pool2).empty());
+  const std::vector<GedSearchResult> single = ParallelBranchAndBoundGedBatch(
+      {fx.items[0]}, /*pool=*/nullptr);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(SameResult(single[0], solo[0]));
+}
+
+/// Store + queries where tier 4 actually fires: unlabeled graphs keep
+/// the cheap bounds loose.
+struct EngineFixture {
+  std::vector<Graph> queries;
+  GraphStore store;
+
+  EngineFixture() {
+    Rng rng(9091);
+    std::vector<Graph> corpus;
+    for (int q = 0; q < 3; ++q)
+      queries.push_back(LinuxLikeGraph(&rng, 7, 9));
+    for (const Graph& q : queries) {
+      for (int i = 0; i < 6; ++i) {
+        SyntheticEditOptions eopt;
+        eopt.num_edits = rng.UniformInt(1, 4);
+        eopt.num_labels = 1;
+        corpus.push_back(SyntheticEditPair(q, eopt, &rng).g2);
+      }
+    }
+    for (int i = 0; i < 20; ++i)
+      corpus.push_back(LinuxLikeGraph(&rng, 6, 9));
+    store.AddAll(corpus);
+  }
+};
+
+TEST(ExactBatchTest, EngineParallelModeMatchesSequentialMode) {
+  const EngineFixture fx;
+  EngineOptions seq_opt;
+  seq_opt.num_threads = 2;
+  QueryEngine seq_engine(&fx.store, seq_opt);
+  EngineOptions par_opt = seq_opt;
+  par_opt.cascade.parallel_exact_threads = 2;
+  QueryEngine par_engine(&fx.store, par_opt);
+
+  const auto expect_same_decisions = [](const CascadeStats& a,
+                                        const CascadeStats& b) {
+    // With both solvers inside budget every decision is proof-backed,
+    // so the per-tier settlement counters must agree exactly; only the
+    // exact_parallel_* observability fields may differ between modes.
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.pruned_index, b.pruned_index);
+    EXPECT_EQ(a.pruned_invariant, b.pruned_invariant);
+    EXPECT_EQ(a.passed_invariant, b.passed_invariant);
+    EXPECT_EQ(a.pruned_branch, b.pruned_branch);
+    EXPECT_EQ(a.decided_heuristic, b.decided_heuristic);
+    EXPECT_EQ(a.decided_ot, b.decided_ot);
+    EXPECT_EQ(a.decided_exact, b.decided_exact);
+    EXPECT_EQ(a.ot_calls, b.ot_calls);
+    EXPECT_EQ(a.exact_calls, b.exact_calls);
+    EXPECT_EQ(a.exact_incomplete, b.exact_incomplete);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+  };
+
+  const std::vector<RangeResult> seq_range =
+      seq_engine.RangeBatch(fx.queries, 4);
+  const std::vector<RangeResult> par_range =
+      par_engine.RangeBatch(fx.queries, 4);
+  ASSERT_EQ(seq_range.size(), par_range.size());
+  long par_batches = 0;
+  for (size_t q = 0; q < seq_range.size(); ++q) {
+    ASSERT_EQ(seq_range[q].stats.cascade.exact_incomplete, 0)
+        << "budget too small for a mode-equivalence check";
+    ASSERT_EQ(seq_range[q].hits.size(), par_range[q].hits.size()) << q;
+    for (size_t h = 0; h < seq_range[q].hits.size(); ++h) {
+      EXPECT_EQ(seq_range[q].hits[h].id, par_range[q].hits[h].id);
+      EXPECT_EQ(seq_range[q].hits[h].ged, par_range[q].hits[h].ged);
+      EXPECT_EQ(seq_range[q].hits[h].exact_distance,
+                par_range[q].hits[h].exact_distance);
+    }
+    expect_same_decisions(seq_range[q].stats.cascade,
+                          par_range[q].stats.cascade);
+    par_batches += par_range[q].stats.cascade.exact_parallel_batches;
+  }
+  // The parallel engine must actually have batched (the queries reach
+  // tier 4), and the sequential engine must never report batches.
+  EXPECT_GT(par_batches, 0);
+  for (const RangeResult& r : seq_range)
+    EXPECT_EQ(r.stats.cascade.exact_parallel_batches, 0);
+
+  const std::vector<TopKResult> seq_topk =
+      seq_engine.TopKBatch(fx.queries, 5);
+  const std::vector<TopKResult> par_topk =
+      par_engine.TopKBatch(fx.queries, 5);
+  ASSERT_EQ(seq_topk.size(), par_topk.size());
+  for (size_t q = 0; q < seq_topk.size(); ++q) {
+    ASSERT_EQ(seq_topk[q].stats.cascade.exact_incomplete, 0);
+    ASSERT_EQ(seq_topk[q].hits.size(), par_topk[q].hits.size()) << q;
+    for (size_t h = 0; h < seq_topk[q].hits.size(); ++h) {
+      EXPECT_EQ(seq_topk[q].hits[h].id, par_topk[q].hits[h].id);
+      EXPECT_EQ(seq_topk[q].hits[h].ged, par_topk[q].hits[h].ged);
+      EXPECT_EQ(seq_topk[q].hits[h].exact_distance,
+                par_topk[q].hits[h].exact_distance);
+    }
+    expect_same_decisions(seq_topk[q].stats.cascade,
+                          par_topk[q].stats.cascade);
+  }
+}
+
+TEST(ExactBatchTest, BatchCounterReconcilesWithTelemetry) {
+  const EngineFixture fx;
+  EngineOptions opt;
+  opt.num_threads = 2;
+  opt.cascade.parallel_exact_threads = 2;
+  QueryEngine engine(&fx.store, opt);
+
+#if OTGED_TELEMETRY_COMPILED
+  telemetry::SetEnabled(true);
+  const telemetry::MetricsSnapshot before =
+      telemetry::Registry().Snapshot();
+#endif
+  CascadeStats total;
+  for (const RangeResult& r : engine.RangeBatch(fx.queries, 4))
+    total.Merge(r.stats.cascade);
+  for (const TopKResult& r : engine.TopKBatch(fx.queries, 5))
+    total.Merge(r.stats.cascade);
+#if OTGED_TELEMETRY_COMPILED
+  const telemetry::MetricsSnapshot after = telemetry::Registry().Snapshot();
+#endif
+
+  // Batching happened, and every parallel run belongs to some batch.
+  EXPECT_GT(total.exact_parallel_batches, 0);
+  EXPECT_GE(total.exact_parallel_runs, total.exact_parallel_batches);
+
+#if OTGED_TELEMETRY_COMPILED
+  EXPECT_EQ(after.CounterValue("otged_exact_parallel_batches_total") -
+                before.CounterValue("otged_exact_parallel_batches_total"),
+            total.exact_parallel_batches);
+  EXPECT_EQ(after.CounterValue("otged_exact_parallel_runs_total") -
+                before.CounterValue("otged_exact_parallel_runs_total"),
+            total.exact_parallel_runs);
+#endif
+}
+
+}  // namespace
+}  // namespace otged

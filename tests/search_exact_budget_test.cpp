@@ -197,6 +197,9 @@ TEST(ExactBudgetTest, ParallelExactCountersReconcile) {
   EXPECT_GT(total.exact_parallel_runs, 0);
   EXPECT_GE(total.exact_parallel_runs, total.exact_calls);
   EXPECT_GT(total.exact_parallel_rounds, 0);
+  // Every parallel run is dispatched inside some multi-pair batch.
+  EXPECT_GT(total.exact_parallel_batches, 0);
+  EXPECT_GE(total.exact_parallel_runs, total.exact_parallel_batches);
 
 #if OTGED_TELEMETRY_COMPILED
   const struct {
@@ -213,6 +216,8 @@ TEST(ExactBudgetTest, ParallelExactCountersReconcile) {
        &CascadeStats::exact_parallel_rounds},
       {"otged_exact_parallel_incumbent_updates_total",
        &CascadeStats::exact_parallel_incumbent_updates},
+      {"otged_exact_parallel_batches_total",
+       &CascadeStats::exact_parallel_batches},
   };
   for (const auto& nf : kParallelFields)
     EXPECT_EQ(after.CounterValue(nf.counter) - before.CounterValue(nf.counter),

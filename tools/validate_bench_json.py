@@ -12,14 +12,28 @@ Records carrying a top-level "kernels" key (BENCH_kernels.json, written
 by bench_micro_kernels) use the kernel schema instead: "bench",
 "git_rev" and "timestamp" as above, a non-empty "kernels" list of
 {"name", "ns_per_op", "ops"} entries with unique names, an optional
-"smoke" bool, and an optional "bnb" section with the sequential-vs-
+"smoke" bool, optional "simd_isa" (str) / "simd_lanes" (int >= 1)
+fields recording which SIMD path the run took, an optional
+"twins_equal" bool (the scalar-vs-SIMD twin gate; must be true when
+present), and an optional "bnb" section with the sequential-vs-
 parallel branch-and-bound comparison (its "equal" flag is the
-determinism gate and must be true).
+determinism gate and must be true) plus the optional multi-pair batch
+timings "batch_ms" / "batch_speedup".
 
-Usage: validate_bench_json.py BENCH_search.json
+With --baseline OLD.json, kernels present in both records are compared
+by ns_per_op: a regression above 15% prints a WARNING, above 50% it is
+a validation failure. --warn-only downgrades baseline failures to
+warnings (for CI runners whose hardware differs from the baseline's).
+
+Usage: validate_bench_json.py [--baseline OLD.json] [--warn-only] \
+           BENCH_search.json
 """
 import json
 import sys
+
+# Baseline ns/op regression thresholds (fractions of the old figure).
+WARN_REGRESSION = 0.15
+FAIL_REGRESSION = 0.50
 
 TIERS = ("invariant", "branch", "heuristic", "ot", "exact", "cache",
          "index")
@@ -68,6 +82,25 @@ def validate_kernels(doc, problems):
         err(f"smoke: expected bool, got {type(doc['smoke']).__name__}",
             problems)
 
+    if "simd_isa" in doc:
+        isa = require(doc, "simd_isa", str, problems)
+        if isa is not None and isa not in ("avx2", "sse2", "neon",
+                                           "scalar"):
+            err(f"simd_isa {isa!r} is not a known ISA", problems)
+    if "simd_lanes" in doc:
+        lanes = require(doc, "simd_lanes", int, problems)
+        if lanes is not None and lanes < 1:
+            err(f"simd_lanes {lanes} is not positive", problems)
+    if "twins_equal" in doc:
+        if not isinstance(doc["twins_equal"], bool):
+            err("key 'twins_equal': expected bool, got "
+                f"{type(doc['twins_equal']).__name__}", problems)
+        # Like bnb.equal: a record whose scalar and SIMD kernels disagree
+        # is not a valid record.
+        elif doc["twins_equal"] is False:
+            err("twins_equal is false: scalar and SIMD kernels disagreed",
+                problems)
+
     kernels = require(doc, "kernels", list, problems)
     if kernels is not None:
         if not kernels:
@@ -105,6 +138,12 @@ def validate_kernels(doc, problems):
                 val = require(bnb, key, (int, float), problems)
                 if val is not None and val < 0:
                     err(f"bnb.{key} {val} is negative", problems)
+            for key in ("batch_ms", "batch_speedup"):
+                if key not in bnb:
+                    continue
+                val = require(bnb, key, (int, float), problems)
+                if val is not None and val < 0:
+                    err(f"bnb.{key} {val} is negative", problems)
             threads = require(bnb, "pool_threads", int, problems)
             if threads is not None and threads <= 0:
                 err(f"bnb.pool_threads {threads} is not positive", problems)
@@ -121,7 +160,8 @@ def validate_kernels(doc, problems):
                 err("bnb.equal is false: parallel branch-and-bound was "
                     "not deterministic", problems)
             for extra in sorted(set(bnb) - {"pairs", "seq_ms", "par_ms",
-                                            "speedup", "equal",
+                                            "speedup", "batch_ms",
+                                            "batch_speedup", "equal",
                                             "pool_threads"}):
                 err(f"bnb has unknown key {extra!r}", problems)
 
@@ -211,19 +251,92 @@ def validate(doc, problems):
                 err(f"index has unknown key {extra!r}", problems)
 
 
+def kernel_map(doc):
+    """name -> ns_per_op over well-formed kernel entries."""
+    out = {}
+    for entry in doc.get("kernels") or []:
+        if not isinstance(entry, dict):
+            continue
+        name, ns = entry.get("name"), entry.get("ns_per_op")
+        if (isinstance(name, str) and name and
+                isinstance(ns, (int, float)) and
+                not isinstance(ns, bool) and ns > 0):
+            out[name] = float(ns)
+    return out
+
+
+def diff_baseline(doc, base, problems, warnings):
+    """Per-kernel ns/op regression check against an older record.
+
+    Kernels only one record carries are skipped (new kernels appear,
+    retired ones vanish — neither is a regression). Smoke and full
+    records share kernel names, so comparing across modes is the
+    caller's mistake; a mode mismatch is reported as a warning.
+    """
+    if doc.get("smoke") != base.get("smoke"):
+        warnings.append("baseline smoke mode differs from the record's; "
+                        "ns/op figures are not comparable")
+        return
+    new, old = kernel_map(doc), kernel_map(base)
+    for name in sorted(set(new) & set(old)):
+        ratio = new[name] / old[name]
+        if ratio > 1.0 + FAIL_REGRESSION:
+            err(f"kernel {name!r} regressed {ratio:.2f}x vs baseline "
+                f"({old[name]:.1f} -> {new[name]:.1f} ns/op, "
+                f"limit {1.0 + FAIL_REGRESSION:.2f}x)", problems)
+        elif ratio > 1.0 + WARN_REGRESSION:
+            warnings.append(
+                f"kernel {name!r} slowed {ratio:.2f}x vs baseline "
+                f"({old[name]:.1f} -> {new[name]:.1f} ns/op)")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def main(argv):
-    if len(argv) != 2:
+    args = argv[1:]
+    baseline_path = None
+    warn_only = False
+    paths = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--baseline":
+            if not args:
+                print("--baseline needs a path", file=sys.stderr)
+                return 2
+            baseline_path = args.pop(0)
+        elif arg == "--warn-only":
+            warn_only = True
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    path = argv[1]
+    path = paths[0]
     try:
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        doc = load(path)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"{path}: {exc}", file=sys.stderr)
         return 1
     problems = []
+    warnings = []
     validate(doc, problems)
+    if baseline_path is not None:
+        try:
+            base = load(baseline_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{baseline_path}: {exc}", file=sys.stderr)
+            return 1
+        baseline_problems = []
+        diff_baseline(doc, base, baseline_problems, warnings)
+        if warn_only:
+            warnings.extend(baseline_problems)
+        else:
+            problems.extend(baseline_problems)
+    for warning in warnings:
+        print(f"{path}: WARNING: {warning}", file=sys.stderr)
     for problem in problems:
         print(f"{path}: {problem}", file=sys.stderr)
     if not problems:
